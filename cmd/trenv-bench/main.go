@@ -1,0 +1,61 @@
+// Command trenv-bench regenerates the paper's tables and figures on the
+// simulated substrate and prints them in paper-style rows.
+//
+// Usage:
+//
+//	trenv-bench [-exp table1,fig17,...|all] [-seed N] [-scale F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment IDs (table1..fig26) or 'all'")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper scale)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	out := flag.String("out", "", "also write the output to this file")
+	flag.Parse()
+
+	var tee io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tee = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintln(tee, e.ID)
+		}
+		return
+	}
+	o := experiments.Options{Seed: *seed, Scale: *scale}
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		run, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "trenv-bench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Fprintln(tee, run(o))
+	}
+}

@@ -1,0 +1,145 @@
+// Command trenv-trace generates and inspects the evaluation's workload
+// traces as JSON.
+//
+// Usage:
+//
+//	trenv-trace -kind w1|w2|azure|huawei [-seed N] [-minutes M] [-out f.json]
+//	trenv-trace -from-csv trace.csv [-minutes M] [-out f.json]
+//	trenv-trace -inspect f.json
+//
+// -from-csv ingests the Azure Functions trace format (per-minute counts
+// per function), mapping its busiest rows onto the Table 4 functions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	trenv "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "w1", "trace kind: w1, w2, azure, huawei")
+	seed := flag.Int64("seed", 1, "generator seed")
+	minutes := flag.Int("minutes", 30, "trace duration in minutes")
+	out := flag.String("out", "", "output file (default stdout)")
+	inspect := flag.String("inspect", "", "inspect an existing trace file instead of generating")
+	fromCSV := flag.String("from-csv", "", "ingest an Azure Functions CSV trace instead of generating")
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			log.Fatalf("trenv-trace: %v", err)
+		}
+		return
+	}
+
+	var names []string
+	for _, p := range trenv.Functions() {
+		names = append(names, p.Name)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	dur := time.Duration(*minutes) * time.Minute
+
+	if *fromCSV != "" {
+		f, err := os.Open(*fromCSV)
+		if err != nil {
+			log.Fatalf("trenv-trace: %v", err)
+		}
+		defer f.Close()
+		tr, err := workload.ParseAzureCSV(f, rng, workload.AzureCSVOptions{
+			Functions:  names,
+			MaxMinutes: *minutes,
+		})
+		if err != nil {
+			log.Fatalf("trenv-trace: %v", err)
+		}
+		emit(tr, *out, "csv:"+*fromCSV)
+		return
+	}
+
+	var tr trenv.Trace
+	switch *kind {
+	case "w1":
+		cfg := workload.DefaultW1(names)
+		cfg.Duration = dur
+		tr = workload.W1Bursty(rng, cfg)
+	case "w2":
+		cfg := workload.DefaultW2(names)
+		cfg.Duration = dur
+		tr = workload.W2Diurnal(rng, cfg)
+	case "azure":
+		cfg := workload.AzureConfig(names)
+		cfg.Duration = dur
+		tr = workload.Industrial(rng, cfg)
+	case "huawei":
+		cfg := workload.HuaweiConfig(names)
+		cfg.Duration = dur
+		tr = workload.Industrial(rng, cfg)
+	default:
+		log.Fatalf("trenv-trace: unknown kind %q", *kind)
+	}
+
+	emit(tr, *out, *kind)
+}
+
+// emit writes the trace as JSON to out (or stdout) with a summary line
+// on stderr.
+func emit(tr trenv.Trace, out, label string) {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			log.Fatalf("trenv-trace: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(tr); err != nil {
+		log.Fatalf("trenv-trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "trenv-trace: %s: %d invocations over %v\n", label, tr.Len(), tr.Duration().Round(time.Second))
+}
+
+func inspectTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr trenv.Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	fmt.Printf("invocations: %d\nduration: %v\n", tr.Len(), tr.Duration().Round(time.Second))
+	counts := tr.CountByFunction()
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-5s %6d\n", n, counts[n])
+	}
+	// Peak minute.
+	perMin := map[time.Duration]int{}
+	for _, inv := range tr {
+		perMin[inv.At.Truncate(time.Minute)]++
+	}
+	peakAt, peak := time.Duration(0), 0
+	for m, c := range perMin {
+		if c > peak || (c == peak && m < peakAt) {
+			peakAt, peak = m, c
+		}
+	}
+	fmt.Printf("peak minute: %v (%d invocations)\n", peakAt, peak)
+	return nil
+}

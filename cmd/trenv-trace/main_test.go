@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	trenv "repro"
+)
+
+// TestInspectTraceRoundTrip writes a trace file and inspects it.
+func TestInspectTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	tr := trenv.Trace{
+		{At: 0, Function: "JS"},
+		{At: 1e9, Function: "JS"},
+		{At: 2e9, Function: "DH"},
+	}
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspectTrace(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectTraceErrors(t *testing.T) {
+	if err := inspectTrace(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if err := inspectTrace(bad); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+// TestEmitWritesFile checks the shared JSON emitter.
+func TestEmitWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	emit(trenv.Trace{{At: 0, Function: "JS"}}, path, "test")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trenv.Trace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr[0].Function != "JS" {
+		t.Fatalf("round trip = %+v", tr)
+	}
+}

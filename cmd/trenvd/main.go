@@ -1,0 +1,201 @@
+// Command trenvd exposes the simulated TrEnv platform over HTTP: deploy
+// Table 4 functions, drive invocation batches, and read metrics. It is a
+// control plane for interactive exploration — the simulation advances in
+// virtual time whenever a batch is submitted.
+//
+// Usage:
+//
+//	trenvd [-addr :8080] [-policy trenv-cxl] [-seed 1]
+//
+// Endpoints:
+//
+//	GET  /functions            list registered and available functions
+//	POST /functions            {"name":"JS"} deploy a Table 4 function
+//	POST /invoke               {"function":"JS","count":5,"spacing_ms":100}
+//	GET  /stats                aggregate + per-function metrics
+//	GET  /experiments          list experiment IDs
+//	POST /experiments/run      {"id":"fig23","scale":0.2} regenerate one
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	trenv "repro"
+)
+
+type server struct {
+	mu       sync.Mutex
+	platform *trenv.ContainerPlatform
+	deployed map[string]bool
+	now      time.Duration // virtual time high-water mark
+}
+
+// newServer builds the control plane over a fresh simulated platform.
+func newServer(policy trenv.ContainerPolicy, seed int64) *server {
+	cfg := trenv.DefaultContainerConfig(policy)
+	cfg.Seed = seed
+	return &server{
+		platform: trenv.NewContainerPlatform(cfg),
+		deployed: make(map[string]bool),
+	}
+}
+
+// mux routes the API.
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /functions", s.listFunctions)
+	mux.HandleFunc("POST /functions", s.deployFunction)
+	mux.HandleFunc("POST /invoke", s.invoke)
+	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("GET /experiments", s.listExperiments)
+	mux.HandleFunc("POST /experiments/run", s.runExperiment)
+	return mux
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	policy := flag.String("policy", string(trenv.TrEnvCXL), "platform policy")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	s := newServer(trenv.ContainerPolicy(*policy), *seed)
+	log.Printf("trenvd: policy=%s listening on %s", *policy, *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) listFunctions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type fn struct {
+		Name     string `json:"name"`
+		Lang     string `json:"lang"`
+		MemBytes int64  `json:"mem_bytes"`
+		Deployed bool   `json:"deployed"`
+	}
+	var out []fn
+	for _, p := range trenv.Functions() {
+		out = append(out, fn{Name: p.Name, Lang: p.Lang, MemBytes: p.MemBytes, Deployed: s.deployed[p.Name]})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) deployFunction(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	prof, err := trenv.FunctionByName(req.Name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.deployed[req.Name] {
+		httpError(w, http.StatusConflict, "function %q already deployed", req.Name)
+		return
+	}
+	if err := s.platform.Register(prof); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.deployed[req.Name] = true
+	writeJSON(w, http.StatusCreated, map[string]string{"deployed": req.Name})
+}
+
+func (s *server) invoke(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Function  string `json:"function"`
+		Count     int    `json:"count"`
+		SpacingMS int    `json:"spacing_ms"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Count <= 0 {
+		req.Count = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.deployed[req.Function] {
+		httpError(w, http.StatusNotFound, "function %q not deployed", req.Function)
+		return
+	}
+	before := s.platform.Metrics().Fn(req.Function).E2E.N()
+	at := s.now
+	for i := 0; i < req.Count; i++ {
+		s.platform.Invoke(at, req.Function)
+		at += time.Duration(req.SpacingMS) * time.Millisecond
+	}
+	s.platform.Engine().Run()
+	s.now = s.platform.Engine().Now()
+	m := s.platform.Metrics().Fn(req.Function)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"completed":    m.E2E.N() - before,
+		"virtual_time": s.now.String(),
+		"e2e_p50_ms":   m.E2E.Percentile(50),
+		"e2e_p99_ms":   m.E2E.Percentile(99),
+		"startup_p99":  m.Startup.Percentile(99),
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metrics":        s.platform.Metrics().Export(),
+		"peak_memory":    s.platform.PeakMemory(),
+		"virtual_time":   s.now.String(),
+		"warm_instances": s.platform.WarmCount(),
+	})
+}
+
+func (s *server) listExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, trenv.ExperimentIDs())
+}
+
+func (s *server) runExperiment(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID    string  `json:"id"`
+		Seed  int64   `json:"seed"`
+		Scale float64 `json:"scale"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	if req.Scale <= 0 {
+		req.Scale = 0.2
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	res, ok := trenv.RunExperiment(req.ID, trenv.ExperimentOptions{Seed: req.Seed, Scale: req.Scale})
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown experiment %q", req.ID)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": res.ID, "title": res.Title, "lines": res.Lines,
+	})
+}

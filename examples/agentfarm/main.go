@@ -1,0 +1,46 @@
+// Agentfarm: run a fleet of browser-driven LLM agents overcommitted onto
+// 20 physical cores and compare E2B against TrEnv with browser sharing
+// and the virtio-pmem page-cache fix (§6, §9.6).
+//
+//	go run ./examples/agentfarm
+package main
+
+import (
+	"fmt"
+	"time"
+
+	trenv "repro"
+)
+
+const fleet = 80
+
+func main() {
+	blog, err := trenv.AgentByName("blog-summary")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("agent %s (%s): %q\n", blog.Name, blog.Framework, blog.Description)
+	fmt.Printf("  solo e2e=%v, cpu=%v (utilization %.0f%%), browser tabs=%d\n\n",
+		blog.TotalE2E().Round(time.Second), blog.TotalCPU().Round(time.Second),
+		100*blog.CPUUtilization(), blog.Tabs)
+
+	fmt.Printf("launching %d instances on 20 cores:\n\n", fleet)
+	for _, policy := range []trenv.AgentPolicy{trenv.E2B, trenv.E2BPlus, trenv.TrEnvVM, trenv.TrEnvVMShared} {
+		pl, err := trenv.NewAgentPlatform(trenv.DefaultAgentConfig(policy))
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < fleet; i++ {
+			pl.Launch(time.Duration(i)*100*time.Millisecond, blog)
+		}
+		pl.Run()
+		m := pl.Metrics(blog.Name)
+		fmt.Printf("%-8s e2e mean=%6.1fs p99=%6.1fs   startup p99=%6.0fms   peak mem=%6.2f GB\n",
+			policy, m.E2E.Mean()/1000, m.E2E.Percentile(99)/1000,
+			m.Startup.Percentile(99), float64(pl.PeakMemory())/(1<<30))
+	}
+
+	fmt.Println("\ntrenv-s shares one browser across up to 10 agents and keeps one")
+	fmt.Println("host page-cache copy of the read-only base image, so both the")
+	fmt.Println("CPU spikes and the duplicated caches of e2b disappear.")
+}

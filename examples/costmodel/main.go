@@ -1,0 +1,56 @@
+// Costmodel: the §2.3 cost study. For each Table 2 agent, compare the
+// serverless infrastructure bill (Eq. 2) against the LLM API bill
+// (Eq. 1), then show what high-density TrEnv deployment does to the
+// serverless side.
+//
+//	go run ./examples/costmodel
+package main
+
+import (
+	"fmt"
+	"time"
+
+	trenv "repro"
+)
+
+func main() {
+	pr := trenv.DefaultPricing()
+	fmt.Printf("pricing: $%.2f/M input tok, $%.2f/M output tok, $%.3g/ms/GB serverless\n\n",
+		pr.InPerToken*1e6, pr.OutPerToken*1e6, pr.ServerlessPerGBms)
+
+	fmt.Printf("%-15s %10s %10s %10s %9s\n", "agent", "LLM $", "serverless $", "relative", "e2e")
+	var llmTotal, svTotal float64
+	for _, a := range trenv.Agents() {
+		llm := trenv.LLMCost(a, pr)
+		sv := trenv.ServerlessCost(a, pr)
+		llmTotal += llm
+		svTotal += sv
+		fmt.Printf("%-15s %10.5f %10.5f %9.1f%% %9s\n",
+			a.Name, llm, sv, 100*sv/llm, a.TotalE2E().Round(time.Second))
+	}
+	fmt.Printf("%-15s %10.5f %10.5f %9.1f%%\n\n", "TOTAL", llmTotal, svTotal, 100*svTotal/llmTotal)
+
+	// What high-density deployment buys: if TrEnv's memory savings let
+	// the provider overcommit agents 3x on the same hardware, the
+	// effective per-agent infrastructure cost drops accordingly — run the
+	// blog-summary fleet and compare measured memory.
+	blog, _ := trenv.AgentByName("blog-summary")
+	peak := func(pol trenv.AgentPolicy) float64 {
+		pl, err := trenv.NewAgentPlatform(trenv.DefaultAgentConfig(pol))
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < 40; i++ {
+			pl.Launch(time.Duration(i)*200*time.Millisecond, blog)
+		}
+		pl.Run()
+		return float64(pl.PeakMemory()) / (1 << 30)
+	}
+	e2b := peak(trenv.E2B)
+	tr := peak(trenv.TrEnvVMShared)
+	fmt.Printf("40 blog-summary agents: e2b peak=%.2f GB, trenv-s peak=%.2f GB\n", e2b, tr)
+	fmt.Printf("=> %.1fx more agents per GB of DRAM, i.e. the %.0f%% serverless\n",
+		e2b/tr, 100*svTotal/llmTotal)
+	fmt.Printf("   share above shrinks toward %.0f%% at equal hardware cost.\n",
+		100*svTotal/llmTotal*tr/e2b)
+}

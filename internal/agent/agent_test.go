@@ -1,0 +1,163 @@
+package agent
+
+import (
+	"testing"
+	"time"
+)
+
+// Table 2's published aggregates.
+var paperAgents = map[string]struct {
+	e2e    time.Duration
+	memMB  int64
+	cpu    time.Duration
+	inTok  int
+	outTok int
+}{
+	"blackjack":      {3200 * time.Millisecond, 74, 411 * time.Millisecond, 1690, 8},
+	"bug-fixer":      {36500 * time.Millisecond, 95, 809 * time.Millisecond, 1557, 530},
+	"map-reduce":     {56500 * time.Millisecond, 199, 1200 * time.Millisecond, 8640, 2644},
+	"shop-assistant": {140700 * time.Millisecond, 1080, 10300 * time.Millisecond, 43185, 1494},
+	"blog-summary":   {193100 * time.Millisecond, 1246, 56800 * time.Millisecond, 49398, 2703},
+	"game-design":    {107000 * time.Millisecond, 1389, 7500 * time.Millisecond, 75121, 2098},
+}
+
+func TestTable2MatchesPaperAggregates(t *testing.T) {
+	agents := Table2()
+	if len(agents) != 6 {
+		t.Fatalf("agents = %d", len(agents))
+	}
+	for _, a := range agents {
+		want, ok := paperAgents[a.Name]
+		if !ok {
+			t.Fatalf("unexpected agent %q", a.Name)
+		}
+		// E2E within 5% of the published value.
+		e2e := a.TotalE2E()
+		if e2e < want.e2e*95/100 || e2e > want.e2e*105/100 {
+			t.Errorf("%s: e2e %v, want ~%v", a.Name, e2e, want.e2e)
+		}
+		// CPU time within 5%.
+		cpu := a.TotalCPU()
+		if cpu < want.cpu*90/100 || cpu > want.cpu*110/100 {
+			t.Errorf("%s: cpu %v, want ~%v", a.Name, cpu, want.cpu)
+		}
+		// Exact token counts (Table 3).
+		in, out := a.Tokens()
+		if in != want.inTok || out != want.outTok {
+			t.Errorf("%s: tokens %d/%d, want %d/%d", a.Name, in, out, want.inTok, want.outTok)
+		}
+	}
+}
+
+func TestCPUUtilizationLow(t *testing.T) {
+	// §2.4: agents use less than ~25% of allocated CPU; game-design ~7%.
+	for _, a := range Table2() {
+		u := a.CPUUtilization()
+		if u <= 0 || u > 0.35 {
+			t.Errorf("%s: utilization %.2f out of expected band", a.Name, u)
+		}
+	}
+	gd, _ := ByName("game-design")
+	if u := gd.CPUUtilization(); u > 0.10 {
+		t.Errorf("game-design utilization %.2f, want <= ~0.07", u)
+	}
+}
+
+func TestBrowserAgentsMarked(t *testing.T) {
+	for _, a := range Table2() {
+		complex := a.Name == "shop-assistant" || a.Name == "blog-summary" || a.Name == "game-design"
+		if a.UsesBrowser != complex {
+			t.Errorf("%s: UsesBrowser = %v", a.Name, a.UsesBrowser)
+		}
+		if complex && a.VMMemory != 4<<30 {
+			t.Errorf("%s: browser agent should get 4 GB", a.Name)
+		}
+		if !complex && a.VMMemory != 2<<30 {
+			t.Errorf("%s: lightweight agent should get 2 GB", a.Name)
+		}
+	}
+}
+
+func TestBlogSummaryHeavyFileIO(t *testing.T) {
+	// §2.4: ~500 MB of page cache from file access in blog-summary.
+	bs, _ := ByName("blog-summary")
+	if got := bs.FileReadBytes(); got < 400<<20 {
+		t.Fatalf("blog-summary reads %d bytes, want ~500MB", got)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown agent accepted")
+	}
+}
+
+func TestStepKindStrings(t *testing.T) {
+	for k, want := range map[StepKind]string{LLMCall: "llm", ToolCPU: "tool", BrowserOp: "browser", FileIO: "fileio"} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}
+
+func TestCostModelFig3(t *testing.T) {
+	pr := DefaultPricing()
+	ratios := make(map[string]float64)
+	for _, a := range Table2() {
+		if LLMCost(a, pr) <= 0 || ServerlessCost(a, pr) <= 0 {
+			t.Fatalf("%s: non-positive cost", a.Name)
+		}
+		ratios[a.Name] = RelativeCost(a, pr)
+	}
+	// The paper's headline: serverless cost reaches up to ~70% of the
+	// LLM cost but never exceeds it.
+	var max float64
+	for name, r := range ratios {
+		if r <= 0.01 || r >= 1.0 {
+			t.Errorf("%s: relative cost %.2f outside (0.01, 1)", name, r)
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if max < 0.4 {
+		t.Errorf("max relative cost %.2f, want the up-to-~0.7 headline", max)
+	}
+	// Complex (browser) agents cost more in absolute serverless dollars.
+	light, _ := ByName("blackjack")
+	heavy, _ := ByName("blog-summary")
+	if ServerlessCost(heavy, pr) <= ServerlessCost(light, pr) {
+		t.Error("complex agent not costlier than lightweight one")
+	}
+}
+
+func TestServerlessCostForScalesLinearly(t *testing.T) {
+	pr := DefaultPricing()
+	a, _ := ByName("blackjack")
+	c1 := ServerlessCostFor(a, pr, time.Second, 1<<30)
+	c2 := ServerlessCostFor(a, pr, 2*time.Second, 1<<30)
+	c3 := ServerlessCostFor(a, pr, time.Second, 2<<30)
+	if c2 != 2*c1 || c3 != 2*c1 {
+		t.Fatalf("cost not linear: %v %v %v", c1, c2, c3)
+	}
+}
+
+func TestTimelineShape(t *testing.T) {
+	for _, a := range Table2() {
+		var browserOps int
+		for _, s := range a.Steps {
+			if s.Kind == BrowserOp {
+				browserOps++
+			}
+			if s.Wait < 0 || s.CPU < 0 || s.MemBytes < 0 {
+				t.Fatalf("%s: negative step fields", a.Name)
+			}
+		}
+		if a.UsesBrowser && browserOps == 0 {
+			t.Errorf("%s: browser agent without browser ops", a.Name)
+		}
+		if !a.UsesBrowser && browserOps > 0 {
+			t.Errorf("%s: lightweight agent with browser ops", a.Name)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package agent
+
+import "time"
+
+// Pricing carries the billing constants for the cost analysis (§2.3).
+type Pricing struct {
+	// InPerToken / OutPerToken are the LLM prices per input/output token
+	// (Eq. 1).
+	InPerToken  float64
+	OutPerToken float64
+	// ServerlessPerGBms is the serverless platform price per millisecond
+	// per GB of allocated memory (Eq. 2; AWS Lambda charges
+	// $1.67e-8/ms/GB).
+	ServerlessPerGBms float64
+}
+
+// DefaultPricing mirrors the paper's cost study: AWS Lambda's published
+// rate and an economical-tier LLM price point (the paper notes LLM prices
+// halving between 2024 and 2025).
+func DefaultPricing() Pricing {
+	return Pricing{
+		InPerToken:        4e-7,   // $0.40 per 1M input tokens
+		OutPerToken:       2.4e-6, // $2.40 per 1M output tokens
+		ServerlessPerGBms: 1.67e-8,
+	}
+}
+
+// LLMCost returns C_LLM = Lin*Pin + Lout*Pout (Eq. 1) in dollars.
+func LLMCost(p Profile, pr Pricing) float64 {
+	in, out := p.Tokens()
+	return float64(in)*pr.InPerToken + float64(out)*pr.OutPerToken
+}
+
+// ServerlessCost returns C_s = T * Ps * M (Eq. 2) in dollars, billing the
+// provisioned VM memory for the agent's contention-free E2E duration.
+func ServerlessCost(p Profile, pr Pricing) float64 {
+	return ServerlessCostFor(p, pr, p.TotalE2E(), p.VMMemory)
+}
+
+// ServerlessCostFor prices an arbitrary measured duration and allocation.
+func ServerlessCostFor(p Profile, pr Pricing, e2e time.Duration, memBytes int64) float64 {
+	gb := float64(memBytes) / (1 << 30)
+	ms := float64(e2e) / float64(time.Millisecond)
+	return ms * pr.ServerlessPerGBms * gb
+}
+
+// RelativeCost returns C_s / C_LLM — Figure 3's metric.
+func RelativeCost(p Profile, pr Pricing) float64 {
+	llm := LLMCost(p, pr)
+	if llm == 0 {
+		return 0
+	}
+	return ServerlessCost(p, pr) / llm
+}

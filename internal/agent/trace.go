@@ -1,0 +1,87 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The paper's §9.6 methodology replays recorded LLM outputs and response
+// latencies so agent runs are deterministic. This file is the recording
+// format: an agent profile (including its full step timeline) serialized
+// as JSON, so traces captured from real runs can be dropped in for the
+// synthesized ones.
+
+type traceHeader struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+}
+
+const (
+	traceMagic   = "trenv-agent-trace"
+	traceVersion = 1
+)
+
+type traceFile struct {
+	Header  traceHeader `json:"header"`
+	Profile Profile     `json:"profile"`
+}
+
+// WriteTrace serializes an agent profile (with its recorded timeline).
+func WriteTrace(w io.Writer, p Profile) error {
+	if err := validateProfile(p); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{
+		Header:  traceHeader{Magic: traceMagic, Version: traceVersion},
+		Profile: p,
+	})
+}
+
+// ReadTrace parses a recorded agent trace, validating its invariants.
+func ReadTrace(r io.Reader) (Profile, error) {
+	var f traceFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return Profile{}, fmt.Errorf("agent: parse trace: %w", err)
+	}
+	if f.Header.Magic != traceMagic {
+		return Profile{}, fmt.Errorf("agent: bad trace magic %q", f.Header.Magic)
+	}
+	if f.Header.Version != traceVersion {
+		return Profile{}, fmt.Errorf("agent: unsupported trace version %d", f.Header.Version)
+	}
+	if err := validateProfile(f.Profile); err != nil {
+		return Profile{}, err
+	}
+	return f.Profile, nil
+}
+
+func validateProfile(p Profile) error {
+	if p.Name == "" {
+		return fmt.Errorf("agent: trace has no name")
+	}
+	if p.VMMemory <= 0 || p.VMCPUs <= 0 {
+		return fmt.Errorf("agent: trace %q has invalid VM sizing", p.Name)
+	}
+	if len(p.Steps) == 0 {
+		return fmt.Errorf("agent: trace %q has no steps", p.Name)
+	}
+	browserOps := 0
+	for i, s := range p.Steps {
+		if s.Wait < 0 || s.CPU < 0 || s.MemBytes < 0 || s.FileBytes < 0 || s.InTokens < 0 || s.OutTokens < 0 {
+			return fmt.Errorf("agent: trace %q step %d has negative fields", p.Name, i)
+		}
+		if s.Kind == BrowserOp {
+			browserOps++
+		}
+	}
+	if browserOps > 0 && !p.UsesBrowser {
+		return fmt.Errorf("agent: trace %q has browser ops but UsesBrowser=false", p.Name)
+	}
+	if p.UsesBrowser && p.Tabs <= 0 {
+		return fmt.Errorf("agent: trace %q uses a browser but has no tabs", p.Name)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package agent
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTripAllAgents(t *testing.T) {
+	for _, a := range Table2() {
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, a); err != nil {
+			t.Fatalf("%s: write: %v", a.Name, err)
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", a.Name, err)
+		}
+		if got.Name != a.Name || got.TotalE2E() != a.TotalE2E() || got.TotalCPU() != a.TotalCPU() {
+			t.Fatalf("%s: timeline changed in round trip", a.Name)
+		}
+		gin, gout := got.Tokens()
+		win, wout := a.Tokens()
+		if gin != win || gout != wout {
+			t.Fatalf("%s: tokens changed", a.Name)
+		}
+		if len(got.Steps) != len(a.Steps) {
+			t.Fatalf("%s: steps %d != %d", a.Name, len(got.Steps), len(a.Steps))
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":  "{nope",
+		"bad magic": `{"header":{"magic":"x","version":1},"profile":{"Name":"a","VMMemory":1,"VMCPUs":1,"Steps":[{}]}}`,
+		"bad ver":   `{"header":{"magic":"trenv-agent-trace","version":7},"profile":{"Name":"a","VMMemory":1,"VMCPUs":1,"Steps":[{}]}}`,
+		"no name":   `{"header":{"magic":"trenv-agent-trace","version":1},"profile":{"VMMemory":1,"VMCPUs":1,"Steps":[{}]}}`,
+		"no steps":  `{"header":{"magic":"trenv-agent-trace","version":1},"profile":{"Name":"a","VMMemory":1,"VMCPUs":1}}`,
+		"negative":  `{"header":{"magic":"trenv-agent-trace","version":1},"profile":{"Name":"a","VMMemory":1,"VMCPUs":1,"Steps":[{"Wait":-5}]}}`,
+	}
+	for name, raw := range cases {
+		if _, err := ReadTrace(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteTraceValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, Profile{}); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+	bad, _ := ByName("blog-summary")
+	bad.Tabs = 0
+	if err := WriteTrace(&buf, bad); err == nil {
+		t.Fatal("browser agent without tabs accepted")
+	}
+}

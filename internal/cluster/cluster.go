@@ -1,0 +1,169 @@
+// Package cluster composes multiple faas nodes around one shared CXL
+// memory pool — the paper's rack-level deployment (§8.2): a consolidated
+// image and its mm-templates exist once per rack, because pool offsets
+// are machine independent, and every node's instances attach to the same
+// read-only pages.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/mem"
+	"repro/internal/mmtemplate"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+// Cluster is a rack of nodes sharing one CXL pool.
+type Cluster struct {
+	eng   *sim.Engine
+	cxl   *mem.Pool
+	store *snapshot.Store
+	nodes []*faas.Platform
+	down  map[int]bool
+}
+
+// New builds a cluster of n nodes. Each node gets cfg's policy and
+// sizing; the CXL pool, block store, and template registry are shared.
+// Only TrEnv-CXL makes sense rack-wide (the point of the experiment);
+// other policies are rejected.
+func New(n int, cfg faas.Config) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	if cfg.Policy != faas.PolicyTrEnvCXL {
+		return nil, fmt.Errorf("cluster: rack sharing requires trenv-cxl, got %q", cfg.Policy)
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	cxl := mem.NewPool(mem.CXL, cfg.CXLCapacity, mem.DefaultLatencyModel())
+	store := snapshot.NewStore(mem.NewBlockStore(cxl), mmtemplate.NewRegistry())
+	c := &Cluster{eng: eng, cxl: cxl, store: store, down: make(map[int]bool)}
+	for i := 0; i < n; i++ {
+		nodeCfg := cfg
+		nodeCfg.Engine = eng
+		nodeCfg.SharedStore = store
+		c.nodes = append(c.nodes, faas.New(nodeCfg))
+	}
+	return c, nil
+}
+
+// Engine returns the shared simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Nodes returns the cluster's platforms.
+func (c *Cluster) Nodes() []*faas.Platform { return c.nodes }
+
+// Pool returns the shared CXL pool.
+func (c *Cluster) Pool() *mem.Pool { return c.cxl }
+
+// Register deploys a function on every node; the consolidated image and
+// templates are built once (first node) and shared by the rest.
+func (c *Cluster) Register(prof workload.FunctionProfile) error {
+	for i, node := range c.nodes {
+		if err := node.Register(prof); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// KillNode takes a node out of rotation — its warm instances and local
+// memory are lost, but the consolidated images and templates live in the
+// shared pool, so the survivors keep serving every function with no
+// re-preprocessing. This is the disaggregation dividend: node-local
+// state is disposable.
+func (c *Cluster) KillNode(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("cluster: node %d out of range", i)
+	}
+	if c.down[i] {
+		return fmt.Errorf("cluster: node %d already down", i)
+	}
+	alive := 0
+	for j := range c.nodes {
+		if !c.down[j] && j != i {
+			alive++
+		}
+	}
+	if alive == 0 {
+		return fmt.Errorf("cluster: cannot kill the last node")
+	}
+	c.down[i] = true
+	return nil
+}
+
+// AliveNodes returns the nodes still in rotation.
+func (c *Cluster) AliveNodes() []*faas.Platform {
+	var out []*faas.Platform
+	for i, node := range c.nodes {
+		if !c.down[i] {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// pick returns the node to run fn on: prefer a live node holding a warm
+// instance, else the least-loaded live node.
+func (c *Cluster) pick(fn string) *faas.Platform {
+	alive := c.AliveNodes()
+	for _, node := range alive {
+		if node.HasWarm(fn) {
+			return node
+		}
+	}
+	best := alive[0]
+	for _, node := range alive[1:] {
+		if node.Active() < best.Active() {
+			best = node
+		}
+	}
+	return best
+}
+
+// Invoke schedules one invocation at virtual time at, placing it when the
+// time arrives (so warm state is inspected at dispatch, not at submit).
+func (c *Cluster) Invoke(at time.Duration, fn string) {
+	c.eng.At(at, "dispatch/"+fn, func(p *sim.Proc) {
+		c.pick(fn).InvokeNow(p, fn)
+	})
+}
+
+// RunTrace dispatches a trace across the rack and runs to completion.
+func (c *Cluster) RunTrace(tr workload.Trace) {
+	for _, inv := range tr {
+		c.Invoke(inv.At, inv.Function)
+	}
+	c.eng.Run()
+}
+
+// DedupFactor returns logical/unique bytes for the rack's consolidated
+// images: how many per-node copies the shared pool replaced.
+func (c *Cluster) DedupFactor() float64 {
+	unique := c.store.Blocks().UniqueBytes()
+	if unique == 0 {
+		return 1
+	}
+	return float64(c.store.Blocks().LogicalBytes()) / float64(unique)
+}
+
+// TotalPeakMemory sums the nodes' DRAM high-water marks.
+func (c *Cluster) TotalPeakMemory() int64 {
+	var n int64
+	for _, node := range c.nodes {
+		n += node.PeakMemory()
+	}
+	return n
+}
+
+// Invocations sums recorded invocations across nodes.
+func (c *Cluster) Invocations() int {
+	n := 0
+	for _, node := range c.nodes {
+		n += node.Metrics().Invocations()
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/workload"
+)
+
+func newCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c, err := New(nodes, faas.DefaultConfig(faas.PolicyTrEnvCXL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range workload.Table4() {
+		if err := c.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, faas.DefaultConfig(faas.PolicyTrEnvCXL)); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := New(2, faas.DefaultConfig(faas.PolicyCRIU)); err == nil {
+		t.Fatal("non-TrEnv policy accepted for rack sharing")
+	}
+}
+
+func TestImagesStoredOncePerRack(t *testing.T) {
+	c := newCluster(t, 4)
+	// Pool holds one consolidated copy regardless of node count.
+	single, err := New(1, faas.DefaultConfig(faas.PolicyTrEnvCXL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range workload.Table4() {
+		single.Register(p)
+	}
+	if c.Pool().Tracker().Used() != single.Pool().Tracker().Used() {
+		t.Fatalf("4-node pool %d != 1-node pool %d", c.Pool().Tracker().Used(), single.Pool().Tracker().Used())
+	}
+}
+
+func TestCrossNodeTemplateSharing(t *testing.T) {
+	c := newCluster(t, 2)
+	// Force invocations onto both nodes by saturating the first.
+	for i := 0; i < 6; i++ {
+		c.Invoke(time.Duration(i)*time.Millisecond, "JS")
+	}
+	c.Engine().Run()
+	if c.Invocations() != 6 {
+		t.Fatalf("invocations = %d", c.Invocations())
+	}
+	// Both nodes attached the same template: attach count is cluster-wide.
+	img := c.nodes[0].Store().Image("JS")
+	if img == nil {
+		t.Fatal("image missing")
+	}
+	var attaches int64
+	for _, tpl := range img.Templates {
+		attaches += tpl.Attaches()
+	}
+	if attaches < 2 {
+		t.Fatalf("template attaches = %d, want cross-node reuse", attaches)
+	}
+}
+
+func TestDispatchPrefersWarmNodes(t *testing.T) {
+	c := newCluster(t, 3)
+	c.Invoke(0, "JS")
+	c.Invoke(30*time.Second, "JS") // sequential: should hit the warm node
+	c.Engine().Run()
+	var warmHits int64
+	for _, n := range c.Nodes() {
+		warmHits += n.Metrics().WarmHits.Value()
+	}
+	if warmHits != 1 {
+		t.Fatalf("warm hits = %d, want 1 (dispatch must prefer the warm node)", warmHits)
+	}
+}
+
+func TestDedupFactorGrowsWithNodes(t *testing.T) {
+	c := newCluster(t, 4)
+	// Every language runtime/libs block is referenced by many functions,
+	// once per rack — logical bytes exceed unique bytes.
+	if f := c.DedupFactor(); f <= 1.0 {
+		t.Fatalf("dedup factor = %.2f, want > 1", f)
+	}
+}
+
+func TestClusterRunTrace(t *testing.T) {
+	c := newCluster(t, 2)
+	rng := rand.New(rand.NewSource(1))
+	tr := workload.W1Bursty(rng, workload.W1Config{
+		Functions: []string{"JS", "DH", "CR"},
+		Duration:  2 * time.Minute,
+		BurstGap:  time.Minute,
+		BurstSize: 4,
+		BurstSpan: time.Second,
+	})
+	c.RunTrace(tr)
+	if c.Invocations() != tr.Len() {
+		t.Fatalf("invocations %d != trace %d", c.Invocations(), tr.Len())
+	}
+	if c.TotalPeakMemory() == 0 {
+		t.Fatal("no memory recorded")
+	}
+}
+
+// TestNodeFailureSurvivedByPool: killing a node loses its warm instances
+// but not the rack's consolidated images; survivors serve everything
+// without re-preprocessing.
+func TestNodeFailureSurvivedByPool(t *testing.T) {
+	c := newCluster(t, 3)
+	c.Invoke(0, "JS")
+	c.Engine().Run()
+	poolBefore := c.Pool().Tracker().Used()
+
+	if err := c.KillNode(0); err != nil { // the node that served JS
+		t.Fatal(err)
+	}
+	if err := c.KillNode(0); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	if err := c.KillNode(9); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	if len(c.AliveNodes()) != 2 {
+		t.Fatalf("alive = %d", len(c.AliveNodes()))
+	}
+	// Pool state untouched by the node loss.
+	if c.Pool().Tracker().Used() != poolBefore {
+		t.Fatal("pool changed on node failure")
+	}
+	// Traffic keeps flowing on the survivors — cold-but-cheap template
+	// attaches against the same image.
+	c.Invoke(c.Engine().Now(), "JS")
+	c.Invoke(c.Engine().Now(), "CR")
+	c.Engine().Run()
+	if c.Invocations() != 3 {
+		t.Fatalf("invocations = %d", c.Invocations())
+	}
+	if c.nodes[0].Metrics().Invocations() != 1 {
+		t.Fatal("dead node served post-failure traffic")
+	}
+	// Cannot kill the last node.
+	c.KillNode(1)
+	if err := c.KillNode(2); err == nil {
+		t.Fatal("killed the last node")
+	}
+}

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/mem"
+	"repro/internal/mmtemplate"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+// MultiRack blends CXL and RDMA the way §8.2 sketches for clusters
+// larger than one rack: each function's consolidated image lives once in
+// its *home* rack's CXL pool; nodes of other racks attach templates whose
+// PTEs point across the inter-rack RDMA fabric at the same data. Home-
+// rack instances get byte-addressable direct reads; spillover instances
+// pay lazy RDMA fetches — exactly the T-CXL vs T-RDMA trade within one
+// cluster.
+type MultiRack struct {
+	eng    *sim.Engine
+	fabric *mem.Pool // inter-rack RDMA
+	racks  []*rack
+	homes  map[string]int
+
+	// fabricStore interns one RDMA-addressable image per function for
+	// every non-home rack (a window onto the home copy, not another
+	// copy — exclude it from memory totals).
+	fabricStore *snapshot.Store
+
+	spillovers sim.Counter
+}
+
+type rack struct {
+	cxl   *mem.Pool
+	store *snapshot.Store
+	nodes []*faas.Platform
+}
+
+// NewMultiRack builds racks x nodesPerRack nodes. cfg must use TrEnvCXL.
+func NewMultiRack(racks, nodesPerRack int, cfg faas.Config) (*MultiRack, error) {
+	if racks <= 0 || nodesPerRack <= 0 {
+		return nil, fmt.Errorf("cluster: need positive rack/node counts, got %d x %d", racks, nodesPerRack)
+	}
+	if cfg.Policy != faas.PolicyTrEnvCXL {
+		return nil, fmt.Errorf("cluster: multi-rack blending requires trenv-cxl, got %q", cfg.Policy)
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	lat := mem.DefaultLatencyModel()
+	m := &MultiRack{
+		eng:    eng,
+		fabric: mem.NewPool(mem.RDMA, 0, lat),
+		homes:  make(map[string]int),
+	}
+	m.fabricStore = snapshot.NewStore(mem.NewBlockStore(m.fabric), mmtemplate.NewRegistry())
+	for r := 0; r < racks; r++ {
+		rk := &rack{cxl: mem.NewPool(mem.CXL, cfg.CXLCapacity, lat)}
+		rk.store = snapshot.NewStore(mem.NewBlockStore(rk.cxl), mmtemplate.NewRegistry())
+		for n := 0; n < nodesPerRack; n++ {
+			nodeCfg := cfg
+			nodeCfg.Engine = eng
+			nodeCfg.SharedStore = rk.store
+			rk.nodes = append(rk.nodes, faas.New(nodeCfg))
+		}
+		m.racks = append(m.racks, rk)
+	}
+	return m, nil
+}
+
+// Engine returns the shared simulation engine.
+func (m *MultiRack) Engine() *sim.Engine { return m.eng }
+
+// Racks returns the rack count.
+func (m *MultiRack) Racks() int { return len(m.racks) }
+
+// Nodes returns every node, rack-major.
+func (m *MultiRack) Nodes() []*faas.Platform {
+	var out []*faas.Platform
+	for _, rk := range m.racks {
+		out = append(out, rk.nodes...)
+	}
+	return out
+}
+
+// Spillovers counts invocations dispatched off their home rack.
+func (m *MultiRack) Spillovers() int64 { return m.spillovers.Value() }
+
+// Register homes a function on homeRack: one CXL copy there, one
+// fabric-addressable image for everyone else.
+func (m *MultiRack) Register(prof workload.FunctionProfile, homeRack int) error {
+	if homeRack < 0 || homeRack >= len(m.racks) {
+		return fmt.Errorf("cluster: home rack %d out of range", homeRack)
+	}
+	if _, ok := m.homes[prof.Name]; ok {
+		return fmt.Errorf("cluster: function %q already registered", prof.Name)
+	}
+	home := m.racks[homeRack]
+	homeImg, err := home.store.Preprocess(prof.Snapshot(), snapshot.Placement{Hot: home.cxl, HotFraction: 1})
+	if err != nil {
+		return err
+	}
+	fabricImg, err := m.fabricStore.Preprocess(prof.Snapshot(), snapshot.Placement{Hot: m.fabric, HotFraction: 1})
+	if err != nil {
+		return err
+	}
+	for ri, rk := range m.racks {
+		img := fabricImg
+		if ri == homeRack {
+			img = homeImg
+		}
+		for _, node := range rk.nodes {
+			if err := node.RegisterWithImage(prof, img); err != nil {
+				return err
+			}
+		}
+	}
+	m.homes[prof.Name] = homeRack
+	return nil
+}
+
+// pick prefers (1) any node with a warm instance, (2) the least-loaded
+// home-rack node unless every home node is saturated, (3) the least-
+// loaded node cluster-wide (a spillover).
+func (m *MultiRack) pick(fn string) (*faas.Platform, bool) {
+	for _, rk := range m.racks {
+		for _, node := range rk.nodes {
+			if node.HasWarm(fn) {
+				return node, false
+			}
+		}
+	}
+	home := m.racks[m.homes[fn]]
+	best := home.nodes[0]
+	for _, node := range home.nodes[1:] {
+		if node.Active() < best.Active() {
+			best = node
+		}
+	}
+	if best.Active() < best.Cores() {
+		return best, false
+	}
+	global := best
+	for _, rk := range m.racks {
+		for _, node := range rk.nodes {
+			if node.Active() < global.Active() {
+				global = node
+			}
+		}
+	}
+	if global == best {
+		return best, false
+	}
+	return global, true
+}
+
+// Invoke dispatches one invocation at virtual time at.
+func (m *MultiRack) Invoke(at time.Duration, fn string) {
+	m.eng.At(at, "dispatch/"+fn, func(p *sim.Proc) {
+		node, spilled := m.pick(fn)
+		if spilled {
+			m.spillovers.Inc()
+		}
+		node.InvokeNow(p, fn)
+	})
+}
+
+// RunTrace dispatches a trace and runs to completion.
+func (m *MultiRack) RunTrace(tr workload.Trace) {
+	for _, inv := range tr {
+		m.Invoke(inv.At, inv.Function)
+	}
+	m.eng.Run()
+}
+
+// CXLBytes sums the racks' pool usage (the fabric is a window, not a
+// copy, so it is excluded).
+func (m *MultiRack) CXLBytes() int64 {
+	var n int64
+	for _, rk := range m.racks {
+		n += rk.cxl.Tracker().Used()
+	}
+	return n
+}
+
+// Invocations sums recorded invocations across all nodes.
+func (m *MultiRack) Invocations() int {
+	n := 0
+	for _, node := range m.Nodes() {
+		n += node.Metrics().Invocations()
+	}
+	return n
+}

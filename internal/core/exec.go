@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// ExecOptions tunes the execution model for one invocation.
+type ExecOptions struct {
+	// CPU, when non-nil, is the node's core pool; the invocation holds
+	// one core for its on-CPU time (queueing under load).
+	CPU *sim.Resource
+	// ContentionPools are held busy (BeginFetch/EndFetch) for the
+	// invocation's duration so concurrent sessions inflate each other's
+	// remote-memory latency.
+	ContentionPools []*mem.Pool
+}
+
+// ExecStats reports one invocation's execution composition.
+type ExecStats struct {
+	CPUTime     time.Duration // on-CPU time including memory overheads
+	IOTime      time.Duration // off-CPU waits
+	MemOverhead time.Duration // fault/fetch/CoW/direct-access latency
+	CPUWait     time.Duration // queueing delay for a core
+	Total       time.Duration
+}
+
+// PromoteWorkingSet copies the instance's hot read-only pages from the
+// remote pool into node DRAM, trading memory for execution speed — the
+// paper's suggested optimization of storing hot regions of the memory
+// image locally (§9.2.1). It returns the newly promoted byte count; the
+// caller decides whether (and where) to charge the copy latency.
+func (rt *Runtime) PromoteWorkingSet(in *Instance) (int64, error) {
+	before := in.Restored.RSS()
+	for _, a := range in.Profile.Accesses() {
+		as, v := in.Restored.Region(a.Region)
+		if v == nil {
+			return 0, fmt.Errorf("core: %s: region %q missing", in.Profile.Name, a.Region)
+		}
+		pages := a.ReadPages
+		if a.WritePages > pages {
+			pages = a.WritePages
+		}
+		if pages == 0 {
+			continue
+		}
+		if err := as.MakeResident(v, 0, pages); err != nil {
+			return 0, err
+		}
+	}
+	return in.Restored.RSS() - before, nil
+}
+
+// Execute runs one invocation on the instance: it touches the profile's
+// per-region working set through the instance's page tables (faulting,
+// fetching, and CoW-copying according to where the start path left the
+// pages), inflates CPU time for CXL-resident hot data, and occupies a
+// core for the on-CPU portion.
+func (rt *Runtime) Execute(p *sim.Proc, in *Instance, opts ExecOptions) (ExecStats, error) {
+	var st ExecStats
+	prof := in.Profile
+	for _, pool := range opts.ContentionPools {
+		pool.BeginFetch()
+	}
+	defer func() {
+		for _, pool := range opts.ContentionPools {
+			pool.EndFetch()
+		}
+	}()
+
+	var memLat time.Duration
+	var directPages, readPages int
+	for _, a := range prof.Accesses() {
+		as, v := in.Restored.Region(a.Region)
+		if v == nil {
+			return st, fmt.Errorf("core: %s: region %q missing", prof.Name, a.Region)
+		}
+		res, err := as.Access(p.Rand(), v, a.ReadPages, a.WritePages)
+		if err != nil {
+			return st, fmt.Errorf("core: %s: access %q: %w", prof.Name, a.Region, err)
+		}
+		memLat += res.Latency
+		directPages += res.DirectPages
+		readPages += a.ReadPages
+	}
+	// Hot read-only data living on CXL slows every pass over it, not just
+	// the first touch: charge the profile's inflation scaled by how much
+	// of the read set is CXL-resident.
+	var inflation time.Duration
+	if directPages > 0 && readPages > 0 {
+		share := float64(directPages) / float64(readPages)
+		inflation = time.Duration(float64(prof.BaseExec) * prof.CXLExecFactor * share)
+	}
+	st.MemOverhead = memLat + inflation
+
+	cpuTime := time.Duration(float64(prof.BaseExec)*prof.CPUFraction) + st.MemOverhead
+	ioTime := prof.BaseExec - time.Duration(float64(prof.BaseExec)*prof.CPUFraction)
+
+	if opts.CPU != nil {
+		t0 := p.Now()
+		opts.CPU.Acquire(p, 1)
+		st.CPUWait = p.Now() - t0
+		p.Sleep(cpuTime)
+		opts.CPU.Release(p.Engine(), 1)
+	} else {
+		p.Sleep(cpuTime)
+	}
+	p.Sleep(ioTime)
+
+	st.CPUTime = cpuTime
+	st.IOTime = ioTime
+	st.Total = st.CPUWait + cpuTime + ioTime
+	in.Uses++
+	return st, nil
+}

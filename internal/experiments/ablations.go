@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/faas"
+	"repro/internal/mem"
+	"repro/internal/mmtemplate"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Ablations exercises the design knobs this reproduction adds around the
+// paper's figures: multi-layer hot/cold placement, hot-working-set
+// promotion, EPT pre-population, per-user deduplication, and
+// Groundhog-style request isolation.
+func Ablations(o Options) *Result {
+	o = o.normalize()
+	r := &Result{ID: "ablations", Title: "design-choice ablations"}
+	ablateHotFraction(o, r)
+	ablatePromotion(o, r)
+	ablateEPT(o, r)
+	ablatePerUserDedup(o, r)
+	ablateCleanAfterUse(o, r)
+	ablateBrowserFanIn(o, r)
+	return r
+}
+
+// ablateBrowserFanIn sweeps how many agents share one browser: too few
+// wastes memory on duplicated utility processes, too many queues agents
+// on the instance's worker slots — the trade behind the paper's ~10.
+func ablateBrowserFanIn(o Options, r *Result) {
+	instances := o.count(60)
+	a, _ := agent.ByName("blog-summary")
+	for _, k := range []int{2, 10, 30} {
+		cfg := vm.DefaultConfig(vm.PolicyTrEnvS)
+		cfg.Seed = o.Seed
+		cfg.Browser.AgentsPerBrowser = k
+		pl, err := vm.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < instances; i++ {
+			pl.Launch(time.Duration(i)*50*time.Millisecond, a)
+		}
+		pl.Run()
+		m := pl.Metrics(a.Name)
+		r.Addf("browser fan-in %2d: blog p99=%7.1fs  peak mem=%6.2fGB",
+			k, m.E2E.Percentile(99)/1000, gb(pl.PeakMemory()))
+	}
+}
+
+// ablateHotFraction sweeps the multi-layer placement: what fraction of
+// each consolidated image lives on CXL (the rest spills to RDMA).
+func ablateHotFraction(o Options, r *Result) {
+	tr := w1Trace(o)
+	for _, frac := range []float64{1.0, 0.5, 0.25} {
+		cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
+		cfg.Seed = o.Seed
+		cfg.KeepAlive = o.dur(10 * time.Minute)
+		cfg.Warmup = o.dur(5 * time.Minute)
+		cfg.HotFraction = frac
+		pl := faas.New(cfg)
+		for _, p := range workload.Table4() {
+			pl.Register(p)
+		}
+		pl.RunTrace(tr)
+		cxl, rdma, _ := pl.PoolUsage()
+		r.Addf("hot-fraction %.2f: e2e p99=%8.1fms  pools cxl=%.2fGB rdma=%.2fGB",
+			frac, pl.Metrics().All.E2E.Percentile(99), gb(cxl), gb(rdma))
+	}
+}
+
+// ablatePromotion compares warm execution with and without promoting the
+// hot working set to local DRAM (DH: CXL inflation ~2x).
+func ablatePromotion(o Options, r *Result) {
+	for _, after := range []int{0, 2} {
+		cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
+		cfg.Seed = o.Seed
+		cfg.PromoteHotAfter = after
+		pl := faas.New(cfg)
+		prof, _ := workload.ProfileByName("DH")
+		pl.Register(prof)
+		for i := 0; i < 6; i++ {
+			pl.Invoke(time.Duration(i)*5*time.Second, "DH")
+		}
+		pl.Engine().Run()
+		label := "off"
+		if after > 0 {
+			label = "on "
+		}
+		r.Addf("promotion %s: DH warm exec=%6.1fms  peak mem=%6.1fMB  promotions=%d",
+			label, pl.Metrics().Fn("DH").Exec.Min(), mb(pl.PeakMemory()),
+			pl.Metrics().Promotions.Value())
+	}
+}
+
+// ablateEPT compares lazy second-level paging against pre-populated EPT
+// for a multi-step agent.
+func ablateEPT(o Options, r *Result) {
+	for _, pre := range []bool{false, true} {
+		cfg := vm.DefaultConfig(vm.PolicyTrEnv)
+		cfg.Seed = o.Seed
+		cfg.PrePopulateEPT = pre
+		pl, err := vm.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		pl.SeedSandboxPool(1)
+		a, _ := agent.ByName("map-reduce")
+		pl.Launch(0, a)
+		pl.Run()
+		m := pl.Metrics("map-reduce")
+		label := "lazy EPT   "
+		if pre {
+			label = "prepopulate"
+		}
+		r.Addf("%s: startup=%6.1fms  e2e=%8.1fms", label, m.Startup.Max(), m.E2E.Max())
+	}
+}
+
+// ablatePerUserDedup shows the pool cost of side-channel isolation.
+func ablatePerUserDedup(o Options, r *Result) {
+	lat := mem.DefaultLatencyModel()
+	for _, perUser := range []bool{false, true} {
+		pool := mem.NewPool(mem.CXL, 0, lat)
+		st := snapshot.NewStore(mem.NewBlockStore(pool), mmtemplate.NewRegistry())
+		st.PerUserDedup = perUser
+		owners := []string{"alice", "bob", "carol"}
+		for i, p := range workload.Table4() {
+			snap := p.Snapshot()
+			snap.Owner = owners[i%len(owners)]
+			if _, err := st.Preprocess(snap, snapshot.Placement{Hot: pool, HotFraction: 1}); err != nil {
+				panic(err)
+			}
+		}
+		label := "shared  "
+		if perUser {
+			label = "per-user"
+		}
+		r.Addf("dedup %s: pool=%6.2fGB (dedup ratio %.2f)", label, gb(pool.Tracker().Used()), st.Blocks().DedupRatio())
+	}
+}
+
+// ablateCleanAfterUse prices Groundhog-style request isolation.
+func ablateCleanAfterUse(o Options, r *Result) {
+	for _, clean := range []bool{false, true} {
+		cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
+		cfg.Seed = o.Seed
+		cfg.CleanAfterUse = clean
+		pl := faas.New(cfg)
+		prof, _ := workload.ProfileByName("JS")
+		pl.Register(prof)
+		for i := 0; i < 4; i++ {
+			pl.Invoke(time.Duration(i)*10*time.Second, "JS")
+		}
+		pl.Engine().Run()
+		label := "keep-state "
+		if clean {
+			label = "clean-state"
+		}
+		r.Addf("%s: JS warm exec=%6.1fms  scrubs=%d", label,
+			pl.Metrics().Fn("JS").Exec.Min(), pl.Metrics().CleanRestores.Value())
+	}
+}

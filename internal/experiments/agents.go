@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/vm"
+)
+
+func agentPlatform(o Options, pol vm.Policy, cores int) *vm.Platform {
+	cfg := vm.DefaultConfig(pol)
+	cfg.Seed = o.Seed
+	if cores > 0 {
+		cfg.Cores = cores
+	}
+	pl, err := vm.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// Table2 reproduces the agent characteristics table by running each
+// agent once, uncontended, on the Firecracker-style (E2B) platform.
+func Table2(o Options) *Result {
+	o = o.normalize()
+	r := &Result{ID: "table2", Title: "agent characteristics (single uncontended run, Firecracker-style)",
+		Notes: "peak-mem uses the paper's snapshot accounting: guest-kernel/hypervisor overhead excluded"}
+	r.Addf("%-15s %-12s %10s %10s %10s", "agent", "framework", "e2e", "peak-mem", "cpu-time")
+	for _, a := range agent.Table2() {
+		cfg := vm.DefaultConfig(vm.PolicyE2B)
+		cfg.Seed = o.Seed
+		cfg.Cores = 8
+		pl, err := vm.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		pl.Launch(0, a)
+		pl.Run()
+		m := pl.Metrics(a.Name)
+		// Table 2's memory column comes from snapshotting: memory unused
+		// after initialization and the fixed VM scaffolding are excluded.
+		measured := pl.PeakMemory() - cfg.Mem.VMOverhead
+		r.Addf("%-15s %-12s %9.1fs %8.0fMB %9.2fs",
+			a.Name, a.Framework,
+			m.E2E.Mean()/1000, mb(measured), a.TotalCPU().Seconds())
+	}
+	return r
+}
+
+// Table3 reproduces the per-agent LLM token usage.
+func Table3(o Options) *Result {
+	r := &Result{ID: "table3", Title: "LLM token usage per agent"}
+	r.Addf("%-15s %12s %12s", "agent", "input-tok", "output-tok")
+	for _, a := range agent.Table2() {
+		in, out := a.Tokens()
+		r.Addf("%-15s %12d %12d", a.Name, in, out)
+	}
+	return r
+}
+
+// Fig3 reproduces the serverless-vs-LLM relative cost analysis.
+func Fig3(o Options) *Result {
+	r := &Result{ID: "fig3", Title: "serverless cost relative to LLM cost (Cs / C_LLM)"}
+	pr := agent.DefaultPricing()
+	for _, a := range agent.Table2() {
+		r.Addf("%-15s C_LLM=$%.5f  Cs=$%.5f  relative=%5.1f%%",
+			a.Name, agent.LLMCost(a, pr), agent.ServerlessCost(a, pr),
+			100*agent.RelativeCost(a, pr))
+	}
+	return r
+}
+
+// Fig23 reproduces the Blackjack startup-latency comparison: one
+// sequential start and 10 concurrent starts, per platform.
+func Fig23(o Options) *Result {
+	o = o.normalize()
+	r := &Result{ID: "fig23", Title: "Blackjack startup latency (a: sequential, b: 10 concurrent)"}
+	bj, err := agent.ByName("blackjack")
+	if err != nil {
+		panic(err)
+	}
+	policies := []vm.Policy{vm.PolicyE2B, vm.PolicyE2BPlus, vm.PolicyVanillaCH, vm.PolicyTrEnv}
+
+	for _, pol := range policies {
+		// (a) sequential, with the sandbox pool at steady state.
+		pl := agentPlatform(o, pol, 20)
+		pl.SeedSandboxPool(1)
+		pl.Launch(0, bj)
+		pl.Run()
+		seq := pl.Metrics("blackjack").Startup.Min()
+
+		// (b) 10 concurrent against a steady-state pool.
+		pl = agentPlatform(o, pol, 20)
+		pl.SeedSandboxPool(10)
+		for i := 0; i < 10; i++ {
+			pl.Launch(0, bj)
+		}
+		pl.Run()
+		conc := pl.Metrics("blackjack").Startup.Percentile(99)
+		r.Addf("%-6s sequential=%8.1fms   10-concurrent p99=%8.1fms", pol, seq, conc)
+	}
+	return r
+}
+
+// Fig24 reproduces the browser-sharing E2E comparison: many instances of
+// each browser agent overcommitted onto 20 cores, TrEnv vs TrEnv-S.
+func Fig24(o Options) *Result {
+	o = o.normalize()
+	instances := o.count(200)
+	r := &Result{ID: "fig24", Title: "browser sharing under overcommitment (E2E)",
+		Notes: "TrEnv-S = TrEnv + shared browsers"}
+	for _, name := range []string{"shop-assistant", "blog-summary", "game-design"} {
+		a, err := agent.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		run := func(pol vm.Policy) (mean, p99 float64) {
+			pl := agentPlatform(o, pol, 20)
+			for i := 0; i < instances; i++ {
+				pl.Launch(time.Duration(i)*50*time.Millisecond, a)
+			}
+			pl.Run()
+			m := pl.Metrics(name)
+			return m.E2E.Mean(), m.E2E.Percentile(99)
+		}
+		ownMean, ownP99 := run(vm.PolicyTrEnv)
+		shMean, shP99 := run(vm.PolicyTrEnvS)
+		r.Addf("%-15s x%d  trenv: mean=%7.1fs p99=%7.1fs   trenv-s: mean=%7.1fs p99=%7.1fs  (p99 -%4.1f%%, mean -%4.1f%%)",
+			name, instances, ownMean/1000, ownP99/1000, shMean/1000, shP99/1000,
+			100*(1-shP99/ownP99), 100*(1-shMean/ownMean))
+	}
+	return r
+}
+
+// Fig25 reproduces the peak-memory comparison across agents and
+// platforms.
+func Fig25(o Options) *Result {
+	o = o.normalize()
+	instances := o.count(50)
+	r := &Result{ID: "fig25", Title: "peak memory per agent: E2B vs E2B+ vs TrEnv"}
+	for _, a := range agent.Table2() {
+		peak := func(pol vm.Policy) int64 {
+			pl := agentPlatform(o, pol, 20)
+			for i := 0; i < instances; i++ {
+				pl.Launch(time.Duration(i)*100*time.Millisecond, a)
+			}
+			pl.Run()
+			return pl.PeakMemory()
+		}
+		e2b := peak(vm.PolicyE2B)
+		e2bp := peak(vm.PolicyE2BPlus)
+		trenv := peak(vm.PolicyTrEnvS)
+		r.Addf("%-15s x%d  e2b=%7.2fGB e2b+=%7.2fGB trenv=%7.2fGB  (saves %4.1f%% vs e2b, %4.1f%% vs e2b+)",
+			a.Name, instances, gb(e2b), gb(e2bp), gb(trenv),
+			100*(1-float64(trenv)/float64(e2b)), 100*(1-float64(trenv)/float64(e2bp)))
+	}
+	return r
+}
+
+// Fig26 reproduces the memory-over-time curves for Map reduce and Blog
+// summary, and the usage x duration cost comparison.
+func Fig26(o Options) *Result {
+	o = o.normalize()
+	instances := o.count(20)
+	r := &Result{ID: "fig26", Title: "memory usage during execution (usage x duration cost)"}
+	for _, name := range []string{"map-reduce", "blog-summary"} {
+		a, err := agent.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		run := func(pol vm.Policy) (peak int64, costGBs float64, end time.Duration) {
+			pl := agentPlatform(o, pol, 20)
+			for i := 0; i < instances; i++ {
+				pl.Launch(time.Duration(i)*100*time.Millisecond, a)
+			}
+			pl.Run()
+			end = pl.Engine().Now()
+			g := pl.MemoryGauge()
+			return pl.PeakMemory(), g.Integral(0, end) / (1 << 30), end
+		}
+		e2bPeak, e2bCost, _ := run(vm.PolicyE2B)
+		trPeak, trCost, end := run(vm.PolicyTrEnvS)
+		r.Addf("%-13s x%d over %v: e2b peak=%6.2fGB cost=%8.0fGBs | trenv peak=%6.2fGB cost=%8.0fGBs (cost -%4.1f%%)",
+			name, instances, end.Round(time.Second), gb(e2bPeak), e2bCost, gb(trPeak), trCost,
+			100*(1-trCost/e2bCost))
+	}
+	return r
+}

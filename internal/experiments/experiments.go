@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2, §9) on the simulated substrate. Each experiment returns
+// a Result whose lines mirror the paper's rows/series; cmd/trenv-bench
+// prints them and the root bench suite runs them under testing.B.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Seed drives all randomness; identical seeds reproduce bit-identical
+	// results.
+	Seed int64
+	// Scale shrinks time-based workloads (1.0 = paper scale, 30-minute
+	// traces; CI runs use ~0.1). Keep-alive windows scale along with
+	// trace durations so workload semantics are preserved.
+	Scale float64
+}
+
+// DefaultOptions returns paper-scale options.
+func DefaultOptions() Options { return Options{Seed: 1, Scale: 1.0} }
+
+func (o Options) normalize() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) dur(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * o.Scale)
+}
+
+func (o Options) count(n int) int {
+	c := int(float64(n) * o.Scale)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID    string
+	Title string
+	Notes string
+	Lines []string
+}
+
+// Addf appends one formatted line.
+func (r *Result) Addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "   (%s)\n", r.Notes)
+	}
+	for _, l := range r.Lines {
+		b.WriteString("  ")
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner maps experiment IDs to their functions.
+type Runner func(Options) *Result
+
+// All returns every experiment in presentation order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig10", Fig10},
+		{"fig17", Fig17},
+		{"fig18", Fig18},
+		{"fig19", Fig19},
+		{"fig20", Fig20},
+		{"fig21", Fig21},
+		{"fig22", Fig22},
+		{"fig23", Fig23},
+		{"fig24", Fig24},
+		{"fig25", Fig25},
+		{"fig26", Fig26},
+		{"ablations", Ablations},
+		{"sensitivity", Sensitivity},
+	}
+}
+
+// ByID returns the runner for an experiment ID.
+func ByID(id string) (Runner, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func mb(bytes int64) float64 { return float64(bytes) / (1 << 20) }
+
+func gb(bytes int64) float64 { return float64(bytes) / (1 << 30) }

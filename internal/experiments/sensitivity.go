@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Sensitivity stresses the calibration: the latency constants the model
+// takes from the paper's testbed (CXL access gap, RDMA fetch, uffd
+// service cost, restore-copy bandwidth) are scaled up and down and the
+// W1 headline comparison re-run. The reproduction's claims hold if the
+// *orderings* survive even when the constants are off by 2x in either
+// direction.
+func Sensitivity(o Options) *Result {
+	o = o.normalize()
+	r := &Result{ID: "sensitivity", Title: "calibration sensitivity (W1 p99, T-CXL vs baselines)",
+		Notes: "each row scales one latency constant; orderings should survive 0.5x-2x"}
+	tr := w1Trace(o)
+
+	run := func(lat mem.LatencyModel, pol faas.Policy) float64 {
+		cfg := faas.DefaultConfig(pol)
+		cfg.Seed = o.Seed
+		cfg.KeepAlive = o.dur(10 * time.Minute)
+		cfg.Warmup = o.dur(5 * time.Minute)
+		cfg.Latency = &lat
+		pl := faas.New(cfg)
+		for _, p := range workload.Table4() {
+			pl.Register(p)
+		}
+		pl.RunTrace(tr)
+		return pl.Metrics().All.E2E.Percentile(99)
+	}
+
+	type knob struct {
+		name  string
+		apply func(*mem.LatencyModel, float64)
+	}
+	knobs := []knob{
+		{"cxl-access", func(m *mem.LatencyModel, f float64) {
+			m.CXLDirectAccess = time.Duration(float64(m.CXLDirectAccess) * f)
+		}},
+		{"rdma-fetch", func(m *mem.LatencyModel, f float64) {
+			m.RDMAFetch = time.Duration(float64(m.RDMAFetch) * f)
+		}},
+		{"uffd-fetch", func(m *mem.LatencyModel, f float64) {
+			m.TmpfsFetch = time.Duration(float64(m.TmpfsFetch) * f)
+		}},
+		{"copy-bandwidth", func(m *mem.LatencyModel, f float64) {
+			m.CopyBandwidth *= f
+		}},
+	}
+	for _, k := range knobs {
+		for _, f := range []float64{0.5, 1.0, 2.0} {
+			lat := mem.DefaultLatencyModel()
+			k.apply(&lat, f)
+			cxl := run(lat, faas.PolicyTrEnvCXL)
+			reap := run(lat, faas.PolicyREAPPlus)
+			criu := run(lat, faas.PolicyCRIU)
+			r.Addf("%-14s x%.1f: t-cxl=%8.1fms reap+=%8.1fms criu=%8.1fms  (speedups %.2fx / %.2fx)",
+				k.name, f, cxl, reap, criu, reap/cxl, criu/cxl)
+		}
+	}
+	return r
+}

@@ -1,0 +1,628 @@
+// Package faas is the serverless platform layer: a faasd-like control
+// plane over the container runtime that registers functions, schedules
+// invocations from a trace, maintains the keep-alive pool, and collects
+// the latency/memory metrics the paper's container-based evaluation
+// reports (§9.1-§9.5).
+//
+// Each platform instance runs one scheduling policy:
+//
+//	faasd      keep-alive + cold starts
+//	criu       keep-alive + vanilla CRIU restore (new sandbox each start)
+//	reap+      keep-alive + netns pool + REAP lazy restore in microVMs
+//	faasnap+   like reap+ with FaaSnap async prefetch
+//	trenv-cxl  repurposable sandboxes + mm-template on a CXL pool
+//	trenv-rdma repurposable sandboxes + mm-template on an RDMA pool
+//	reconfig   ablation: repurposed sandbox, full-copy memory, legacy cgroup
+//	cgroup     ablation: + CLONE_INTO_CGROUP, still full-copy memory
+package faas
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mmtemplate"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/workload"
+)
+
+// Policy selects the platform's start strategy.
+type Policy string
+
+// Policies under evaluation.
+const (
+	PolicyFaasd       Policy = "faasd"
+	PolicyCRIU        Policy = "criu"
+	PolicyREAPPlus    Policy = "reap+"
+	PolicyFaaSnapPlus Policy = "faasnap+"
+	PolicyTrEnvCXL    Policy = "trenv-cxl"
+	PolicyTrEnvRDMA   Policy = "trenv-rdma"
+	PolicyReconfig    Policy = "reconfig"
+	PolicyCgroup      Policy = "cgroup"
+)
+
+// IsTrEnv reports whether the policy uses repurposable sandboxes.
+func (p Policy) IsTrEnv() bool {
+	switch p {
+	case PolicyTrEnvCXL, PolicyTrEnvRDMA, PolicyReconfig, PolicyCgroup:
+		return true
+	}
+	return false
+}
+
+// Config parameterizes a platform.
+type Config struct {
+	Policy Policy
+	Seed   int64
+	// Cores is the node's physical core count.
+	Cores int
+	// SoftMemCap triggers idle-instance eviction when node usage would
+	// exceed it (0 = unlimited). W2 runs with a 32 GB cap.
+	SoftMemCap int64
+	// KeepAlive is the idle retention window (the paper uses 10 min).
+	KeepAlive time.Duration
+	// WarmReuse is the dispatch cost of reusing a kept-alive instance.
+	WarmReuse time.Duration
+	// Warmup excludes invocations arriving before this time from the
+	// metrics (the paper warms every system up for ~5 minutes).
+	Warmup time.Duration
+	// HotFraction places this share of each TrEnv image on the hot pool
+	// (1 = everything; <1 spills the tail to the cold pool, the
+	// multi-layer configuration).
+	HotFraction float64
+	// PromoteHotAfter, when > 0, promotes a kept-alive instance's hot
+	// working set into node DRAM once it has served this many
+	// invocations, removing the steady-state remote-access penalty at
+	// the price of per-instance memory (§9.2.1's suggested tuning).
+	PromoteHotAfter int
+	// PreWarmSandboxes provisions this many cleaned sandboxes into the
+	// universal pool before traffic arrives (TrEnv policies), so even
+	// the very first burst repurposes instead of building isolation
+	// environments under contention.
+	PreWarmSandboxes int
+	// MaxPerFunction caps concurrently-running instances per function
+	// (faasd's scale limit); excess invocations queue FIFO and dispatch
+	// as instances free up. 0 = unlimited.
+	MaxPerFunction int
+	// CleanAfterUse gives Groundhog-style sequential request isolation
+	// (§10): after each invocation the instance's memory state is thrown
+	// away and re-attached from the template, so a kept-alive instance
+	// never carries one request's state into the next. Only meaningful
+	// for TrEnv policies (re-attach is a metadata copy); the restore
+	// happens off the request's critical path.
+	CleanAfterUse bool
+	// CXLCapacity / RDMACapacity bound the pools (0 = unlimited).
+	CXLCapacity  int64
+	RDMACapacity int64
+	// Latency overrides the memory-system latency constants (nil =
+	// DefaultLatencyModel). Used by the calibration-sensitivity study.
+	Latency *mem.LatencyModel
+
+	// Engine, when non-nil, embeds the platform in an existing simulation
+	// (multi-node clusters share one virtual clock).
+	Engine *sim.Engine
+	// SharedStore, when non-nil, is a snapshot store shared with other
+	// nodes attached to the same memory pool: preprocessing happens once
+	// per rack and templates resolve machine-independent offsets.
+	SharedStore *snapshot.Store
+}
+
+// DefaultConfig returns the testbed-like configuration for a policy.
+func DefaultConfig(policy Policy) Config {
+	return Config{
+		Policy:      policy,
+		Seed:        1,
+		Cores:       64,
+		KeepAlive:   10 * time.Minute,
+		WarmReuse:   500 * time.Microsecond,
+		HotFraction: 1,
+	}
+}
+
+// Function is a registered function plus its policy-specific artifacts.
+type Function struct {
+	Profile workload.FunctionProfile
+	Snap    *snapshot.Snapshot
+	Img     *snapshot.Image // TrEnv policies
+	WS      map[string]int  // recorded working set (lazy policies)
+}
+
+// Platform is one simulated node running one policy.
+type Platform struct {
+	cfg     Config
+	eng     *sim.Engine
+	node    *mem.Tracker
+	rt      *core.Runtime
+	cpu     *sim.Resource
+	cxl     *mem.Pool
+	rdma    *mem.Pool
+	tmpfs   *mem.Pool
+	store   *snapshot.Store
+	fns     map[string]*Function
+	warm    map[string][]*core.Instance
+	metrics *Metrics
+
+	lat        mem.LatencyModel
+	memGauge   sim.Gauge
+	active     int
+	traceEnd   time.Duration
+	samplerOn  bool
+	sampleStep time.Duration
+
+	// Per-function admission control (MaxPerFunction).
+	running map[string]int
+	waiting map[string][]*sim.Proc
+}
+
+// New creates a platform for cfg.
+func New(cfg Config) *Platform {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 64
+	}
+	if cfg.KeepAlive == 0 {
+		cfg.KeepAlive = 10 * time.Minute
+	}
+	if cfg.HotFraction == 0 {
+		cfg.HotFraction = 1
+	}
+	lat := mem.DefaultLatencyModel()
+	if cfg.Latency != nil {
+		lat = *cfg.Latency
+	}
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.NewEngine(cfg.Seed)
+	}
+	node := mem.NewTracker("node-dram", 0)
+	pl := &Platform{
+		cfg:        cfg,
+		eng:        eng,
+		node:       node,
+		rt:         core.DefaultRuntime(node),
+		lat:        lat,
+		cpu:        sim.NewResource("cores", cfg.Cores),
+		cxl:        mem.NewPool(mem.CXL, cfg.CXLCapacity, lat),
+		rdma:       mem.NewPool(mem.RDMA, cfg.RDMACapacity, lat),
+		tmpfs:      mem.NewPool(mem.Tmpfs, 0, lat),
+		fns:        make(map[string]*Function),
+		warm:       make(map[string][]*core.Instance),
+		metrics:    NewMetrics(),
+		sampleStep: time.Second,
+		running:    make(map[string]int),
+		waiting:    make(map[string][]*sim.Proc),
+	}
+	pl.rt.Lat = lat
+	switch {
+	case cfg.SharedStore != nil:
+		pl.store = cfg.SharedStore
+		pl.cxl = cfg.SharedStore.Blocks().Pool()
+	case cfg.Policy == PolicyTrEnvRDMA:
+		pl.store = snapshot.NewStore(mem.NewBlockStore(pl.rdma), mmtemplate.NewRegistry())
+	default:
+		pl.store = snapshot.NewStore(mem.NewBlockStore(pl.cxl), mmtemplate.NewRegistry())
+	}
+	return pl
+}
+
+// Engine exposes the simulation engine (for composing experiments).
+func (pl *Platform) Engine() *sim.Engine { return pl.eng }
+
+// Node returns the node DRAM tracker.
+func (pl *Platform) Node() *mem.Tracker { return pl.node }
+
+// Runtime returns the underlying container runtime.
+func (pl *Platform) Runtime() *core.Runtime { return pl.rt }
+
+// Metrics returns the collected metrics.
+func (pl *Platform) Metrics() *Metrics { return pl.metrics }
+
+// MemoryGauge returns node DRAM usage over time (sampled).
+func (pl *Platform) MemoryGauge() *sim.Gauge { return &pl.memGauge }
+
+// PoolUsage returns bytes held in the CXL, RDMA, and tmpfs pools.
+func (pl *Platform) PoolUsage() (cxl, rdma, tmpfs int64) {
+	return pl.cxl.Tracker().Used(), pl.rdma.Tracker().Used(), pl.tmpfs.Tracker().Used()
+}
+
+// Register deploys a function: synthesizing its snapshot and preparing
+// the policy's artifacts (consolidated image + templates for TrEnv,
+// tmpfs snapshot files + recorded working sets for the others).
+func (pl *Platform) Register(prof workload.FunctionProfile) error {
+	if _, ok := pl.fns[prof.Name]; ok {
+		return fmt.Errorf("faas: function %q already registered", prof.Name)
+	}
+	fn := &Function{Profile: prof, Snap: prof.Snapshot()}
+	switch pl.cfg.Policy {
+	case PolicyTrEnvCXL:
+		// Another node on the same pool may have preprocessed already:
+		// the consolidated image and its templates are rack-shared.
+		if img := pl.store.Image(prof.Name); img != nil {
+			fn.Img = img
+			break
+		}
+		place := snapshot.Placement{Hot: pl.cxl, HotFraction: pl.cfg.HotFraction}
+		if pl.cfg.HotFraction < 1 {
+			place.Cold = pl.rdma
+		}
+		img, err := pl.store.Preprocess(fn.Snap, place)
+		if err != nil {
+			return err
+		}
+		fn.Img = img
+	case PolicyTrEnvRDMA:
+		img, err := pl.store.Preprocess(fn.Snap, snapshot.Placement{Hot: pl.rdma, HotFraction: 1})
+		if err != nil {
+			return err
+		}
+		fn.Img = img
+	case PolicyREAPPlus, PolicyFaaSnapPlus:
+		fn.WS = prof.WorkingSet()
+		pl.tmpfs.Tracker().MustAlloc(fn.Snap.MemBytes()) // snapshot file
+	case PolicyCRIU, PolicyReconfig, PolicyCgroup:
+		pl.tmpfs.Tracker().MustAlloc(fn.Snap.MemBytes()) // snapshot file
+	case PolicyFaasd:
+		// no snapshot artifacts
+	default:
+		return fmt.Errorf("faas: unknown policy %q", pl.cfg.Policy)
+	}
+	pl.fns[prof.Name] = fn
+	return nil
+}
+
+// RegisterWithImage deploys a function whose consolidated image and
+// templates were preprocessed elsewhere — a multi-rack deployment where
+// this node reaches the image over the inter-rack fabric instead of its
+// own rack's pool. TrEnv policies only.
+func (pl *Platform) RegisterWithImage(prof workload.FunctionProfile, img *snapshot.Image) error {
+	if !pl.cfg.Policy.IsTrEnv() {
+		return fmt.Errorf("faas: policy %q cannot use preprocessed images", pl.cfg.Policy)
+	}
+	if img == nil {
+		return fmt.Errorf("faas: nil image for %q", prof.Name)
+	}
+	if _, ok := pl.fns[prof.Name]; ok {
+		return fmt.Errorf("faas: function %q already registered", prof.Name)
+	}
+	pl.fns[prof.Name] = &Function{Profile: prof, Snap: img.Snapshot, Img: img}
+	return nil
+}
+
+// Redeploy replaces a registered function's code/snapshot (TrEnv
+// policies): a fresh consolidated image and templates are built, warm
+// instances of the old version are drained, and the retired image's pool
+// blocks are released once they are gone.
+func (pl *Platform) Redeploy(prof workload.FunctionProfile) error {
+	fn, ok := pl.fns[prof.Name]
+	if !ok {
+		return fmt.Errorf("faas: redeploy of unknown function %q", prof.Name)
+	}
+	if fn.Img == nil {
+		return fmt.Errorf("faas: policy %q does not use preprocessed images", pl.cfg.Policy)
+	}
+	snap := prof.Snapshot()
+	place := snapshot.Placement{Hot: pl.store.Blocks().Pool(), HotFraction: pl.cfg.HotFraction}
+	if pl.cfg.HotFraction < 1 {
+		place.Cold = pl.rdma
+	}
+	fresh, retired, err := pl.store.Update(snap, place)
+	if err != nil {
+		return err
+	}
+	fn.Profile = prof
+	fn.Snap = snap
+	fn.Img = fresh
+	// Drain stale warm instances; their sandboxes recycle as usual.
+	stale := pl.warm[prof.Name]
+	pl.warm[prof.Name] = nil
+	pl.eng.Go("redeploy-drain/"+prof.Name, func(p *sim.Proc) {
+		for _, in := range stale {
+			pl.release(p, in)
+		}
+		if err := pl.store.ReleaseImage(retired); err != nil {
+			pl.metrics.Errors.Inc()
+		}
+	})
+	return nil
+}
+
+// takeWarm pops the most recently used warm instance for fn.
+func (pl *Platform) takeWarm(fn string) *core.Instance {
+	list := pl.warm[fn]
+	if len(list) == 0 {
+		return nil
+	}
+	in := list[len(list)-1]
+	pl.warm[fn] = list[:len(list)-1]
+	return in
+}
+
+// parkWarm returns an instance to the keep-alive pool and schedules its
+// expiry.
+func (pl *Platform) parkWarm(in *core.Instance) {
+	in.IdleSince = pl.eng.Now()
+	pl.warm[in.Function] = append(pl.warm[in.Function], in)
+	idleMark := in.IdleSince
+	pl.eng.After(pl.cfg.KeepAlive, func() {
+		// Still idle since the same moment? Then it expired.
+		if in.IdleSince != idleMark || !pl.removeWarm(in) {
+			return
+		}
+		pl.eng.Go("expire/"+in.Function, func(p *sim.Proc) {
+			pl.release(p, in)
+		})
+	})
+}
+
+func (pl *Platform) removeWarm(in *core.Instance) bool {
+	list := pl.warm[in.Function]
+	for i, cand := range list {
+		if cand == in {
+			pl.warm[in.Function] = append(list[:i], list[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// release tears an instance down, recycling the sandbox under TrEnv
+// policies.
+func (pl *Platform) release(p *sim.Proc, in *core.Instance) {
+	pl.rt.Release(p, in, pl.cfg.Policy.IsTrEnv())
+}
+
+// evictForSpace evicts least-recently-used idle instances while the soft
+// cap would be exceeded by an allocation of need bytes.
+func (pl *Platform) evictForSpace(p *sim.Proc, need int64) {
+	if pl.cfg.SoftMemCap == 0 {
+		return
+	}
+	for pl.node.Used()+need > pl.cfg.SoftMemCap {
+		victim := pl.oldestIdle()
+		if victim == nil {
+			return
+		}
+		pl.removeWarm(victim)
+		pl.metrics.Evictions.Inc()
+		pl.release(p, victim)
+	}
+}
+
+func (pl *Platform) oldestIdle() *core.Instance {
+	var victim *core.Instance
+	for _, list := range pl.warm {
+		for _, in := range list {
+			if victim == nil || in.IdleSince < victim.IdleSince {
+				victim = in
+			}
+		}
+	}
+	return victim
+}
+
+// estimateStartBytes approximates the node memory a fresh start needs,
+// used only to drive soft-cap eviction.
+func (pl *Platform) estimateStartBytes(fn *Function) int64 {
+	img := fn.Snap.MemBytes()
+	switch pl.cfg.Policy {
+	case PolicyFaasd, PolicyCRIU, PolicyReconfig, PolicyCgroup:
+		return img + pl.rt.ContainerOverhead
+	case PolicyREAPPlus, PolicyFaaSnapPlus:
+		var ws int64
+		for _, pages := range fn.WS {
+			ws += int64(pages) * mem.PageSize
+		}
+		return ws + pl.rt.VMOverhead
+	default: // TrEnv: CoW writes only
+		return int64(float64(img)*fn.Profile.WriteFrac) + pl.rt.ContainerOverhead
+	}
+}
+
+// contentionPools returns the pools an invocation keeps busy while it
+// runs under the current policy.
+func (pl *Platform) contentionPools() []*mem.Pool {
+	switch pl.cfg.Policy {
+	case PolicyTrEnvCXL:
+		if pl.cfg.HotFraction < 1 {
+			return []*mem.Pool{pl.cxl, pl.rdma}
+		}
+		return []*mem.Pool{pl.cxl}
+	case PolicyTrEnvRDMA:
+		return []*mem.Pool{pl.rdma}
+	case PolicyREAPPlus, PolicyFaaSnapPlus:
+		return []*mem.Pool{pl.tmpfs}
+	}
+	return nil
+}
+
+// start brings up a fresh instance per the policy.
+func (pl *Platform) start(p *sim.Proc, fn *Function) (*core.Instance, core.Startup, error) {
+	switch pl.cfg.Policy {
+	case PolicyFaasd:
+		return pl.rt.StartCold(p, fn.Profile)
+	case PolicyCRIU:
+		return pl.rt.StartCRIU(p, fn.Profile, fn.Snap)
+	case PolicyREAPPlus:
+		return pl.rt.StartLazyVM(p, fn.Profile, fn.Snap, pl.tmpfs, snapshot.ReapConfig(fn.WS))
+	case PolicyFaaSnapPlus:
+		return pl.rt.StartLazyVM(p, fn.Profile, fn.Snap, pl.tmpfs, snapshot.FaaSnapConfig(fn.WS))
+	case PolicyTrEnvCXL, PolicyTrEnvRDMA:
+		return pl.rt.StartTrEnv(p, fn.Profile, fn.Img)
+	case PolicyReconfig:
+		return pl.rt.StartReconfig(p, fn.Profile, fn.Snap, false)
+	case PolicyCgroup:
+		return pl.rt.StartReconfig(p, fn.Profile, fn.Snap, true)
+	}
+	return nil, core.Startup{}, fmt.Errorf("faas: unknown policy %q", pl.cfg.Policy)
+}
+
+// admit blocks p until the function has a free instance slot.
+func (pl *Platform) admit(p *sim.Proc, name string) {
+	if pl.cfg.MaxPerFunction <= 0 {
+		return
+	}
+	for pl.running[name] >= pl.cfg.MaxPerFunction {
+		pl.waiting[name] = append(pl.waiting[name], p)
+		pl.metrics.Queued.Inc()
+		p.Park()
+	}
+	pl.running[name]++
+}
+
+// leave releases p's instance slot and wakes the next queued invocation.
+func (pl *Platform) leave(name string) {
+	if pl.cfg.MaxPerFunction <= 0 {
+		return
+	}
+	pl.running[name]--
+	if q := pl.waiting[name]; len(q) > 0 {
+		next := q[0]
+		pl.waiting[name] = q[1:]
+		pl.eng.Resume(next)
+	}
+}
+
+// invoke is the full lifecycle of one invocation.
+func (pl *Platform) invoke(p *sim.Proc, name string) {
+	fn, ok := pl.fns[name]
+	if !ok {
+		pl.metrics.Errors.Inc()
+		return
+	}
+	pl.active++
+	defer func() { pl.active-- }()
+	pl.admit(p, name)
+	defer pl.leave(name)
+	t0 := p.Now()
+	var st core.Startup
+	in := pl.takeWarm(name)
+	if in != nil {
+		p.Sleep(pl.cfg.WarmReuse)
+		st = core.Startup{Path: core.PathWarm, Restore: pl.cfg.WarmReuse}
+	} else {
+		pl.evictForSpace(p, pl.estimateStartBytes(fn))
+		var err error
+		in, st, err = pl.start(p, fn)
+		if err != nil {
+			pl.metrics.Errors.Inc()
+			return
+		}
+	}
+	if pl.cfg.PromoteHotAfter > 0 && in.Uses >= pl.cfg.PromoteHotAfter {
+		promoted, err := pl.rt.PromoteWorkingSet(in)
+		if err != nil {
+			pl.metrics.Errors.Inc()
+			pl.release(p, in)
+			return
+		}
+		if promoted > 0 {
+			p.Sleep(pl.lat.CopyCost(promoted))
+			pl.metrics.Promotions.Inc()
+		}
+	}
+	es, err := pl.rt.Execute(p, in, core.ExecOptions{
+		CPU:             pl.cpu,
+		ContentionPools: pl.contentionPools(),
+	})
+	if err != nil {
+		pl.metrics.Errors.Inc()
+		pl.release(p, in)
+		return
+	}
+	if t0 >= pl.cfg.Warmup {
+		pl.metrics.Record(name, st, es, p.Now()-t0)
+	}
+	if pl.cfg.CleanAfterUse && fn.Img != nil {
+		// Groundhog-style: scrub the request's memory state before the
+		// instance can serve anyone else. The template re-attach costs
+		// metadata-copy time, paid here (off the next request's path).
+		old := in.Restored
+		fresh, err := snapshot.RestoreTemplate(fn.Img, pl.node, pl.lat, pl.rt.AttachCosts, pl.rt.RestoreCosts)
+		if err != nil {
+			pl.metrics.Errors.Inc()
+			pl.release(p, in)
+			return
+		}
+		p.Sleep(fresh.Latency)
+		in.Restored = fresh
+		old.ReleaseAll()
+		pl.metrics.CleanRestores.Inc()
+	}
+	pl.parkWarm(in)
+}
+
+// Invoke schedules one invocation at virtual time at.
+func (pl *Platform) Invoke(at time.Duration, function string) {
+	pl.eng.At(at, "invoke/"+function, func(p *sim.Proc) { pl.invoke(p, function) })
+}
+
+// InvokeNow runs one invocation inside the calling simulated process —
+// the cluster dispatcher uses this after picking a node at arrival time.
+func (pl *Platform) InvokeNow(p *sim.Proc, function string) { pl.invoke(p, function) }
+
+// startSampler records node DRAM usage once per sampleStep until the
+// trace has ended and no invocations remain active.
+func (pl *Platform) startSampler() {
+	if pl.samplerOn {
+		return
+	}
+	pl.samplerOn = true
+	pl.eng.Go("mem-sampler", func(p *sim.Proc) {
+		for {
+			pl.memGauge.Set(p.Now(), float64(pl.node.Used()))
+			if p.Now() >= pl.traceEnd && pl.active == 0 {
+				return
+			}
+			p.Sleep(pl.sampleStep)
+		}
+	})
+}
+
+// PreWarm provisions n cleaned sandboxes into the universal pool at no
+// simulated cost — the operator built them before the measured window.
+// Only TrEnv policies consume the pool.
+func (pl *Platform) PreWarm(n int) {
+	if n <= 0 || !pl.cfg.Policy.IsTrEnv() {
+		return
+	}
+	for i := 0; i < n; i++ {
+		pl.rt.SBPool.Put(pl.rt.Factory.CreateWarm())
+	}
+}
+
+// RunTrace schedules every invocation in tr and runs the simulation to
+// completion (including keep-alive expiries after the last invocation).
+func (pl *Platform) RunTrace(tr workload.Trace) {
+	pl.PreWarm(pl.cfg.PreWarmSandboxes)
+	pl.traceEnd = tr.Duration()
+	for _, inv := range tr {
+		pl.Invoke(inv.At, inv.Function)
+	}
+	pl.startSampler()
+	pl.eng.Run()
+}
+
+// PeakMemory returns the node DRAM high-water mark.
+func (pl *Platform) PeakMemory() int64 { return pl.node.Peak() }
+
+// Active returns the number of invocations currently in flight.
+func (pl *Platform) Active() int { return pl.active }
+
+// Cores returns the node's physical core count.
+func (pl *Platform) Cores() int { return pl.cfg.Cores }
+
+// HasWarm reports whether a kept-alive instance of fn exists.
+func (pl *Platform) HasWarm(fn string) bool { return len(pl.warm[fn]) > 0 }
+
+// Store returns the snapshot store (shared across nodes in clusters).
+func (pl *Platform) Store() *snapshot.Store { return pl.store }
+
+// WarmCount returns the current number of kept-alive instances.
+func (pl *Platform) WarmCount() int {
+	n := 0
+	for _, l := range pl.warm {
+		n += len(l)
+	}
+	return n
+}

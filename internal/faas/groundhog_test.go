@@ -1,0 +1,66 @@
+package faas
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCleanAfterUseScrubsBetweenRequests verifies the Groundhog-style
+// mode (§10): a kept-alive instance serves each request from a pristine
+// memory state, so the second warm invocation pays the same CoW work as
+// the first instead of inheriting its pages.
+func TestCleanAfterUseScrubsBetweenRequests(t *testing.T) {
+	exec2 := func(clean bool) (first, second float64, scrubs int64) {
+		cfg := DefaultConfig(PolicyTrEnvCXL)
+		cfg.CleanAfterUse = clean
+		pl := New(cfg)
+		pl.Register(mustProfile(t, "JS"))
+		pl.Invoke(0, "JS")
+		pl.Invoke(30*time.Second, "JS")
+		pl.Engine().Run()
+		if pl.Metrics().Errors.Value() != 0 {
+			t.Fatalf("errors = %d", pl.Metrics().Errors.Value())
+		}
+		m := pl.Metrics().Fn("JS")
+		// Max = first (CoW-laden), Min = second.
+		return m.Exec.Max(), m.Exec.Min(), pl.Metrics().CleanRestores.Value()
+	}
+	_, warmSecond, scrubs := exec2(false)
+	cleanFirst, cleanSecond, cleanScrubs := exec2(true)
+	if scrubs != 0 {
+		t.Fatalf("scrubs without CleanAfterUse = %d", scrubs)
+	}
+	if cleanScrubs != 2 {
+		t.Fatalf("scrubs = %d, want one per invocation", cleanScrubs)
+	}
+	// Without cleaning, the warm run is faster (pages already CoW'd);
+	// with cleaning, both runs pay the same work.
+	if warmSecond >= cleanSecond {
+		t.Fatalf("clean mode should make warm runs repay CoW: %.2f vs %.2f", warmSecond, cleanSecond)
+	}
+	if diff := cleanFirst - cleanSecond; diff < 0 {
+		diff = -diff
+	} else if diff > cleanFirst*0.05 {
+		t.Fatalf("clean-mode runs differ: %.2f vs %.2f", cleanFirst, cleanSecond)
+	}
+}
+
+// TestCleanAfterUseKeepsMemoryFlat: request state does not accumulate
+// across warm reuses.
+func TestCleanAfterUseKeepsMemoryFlat(t *testing.T) {
+	cfg := DefaultConfig(PolicyTrEnvCXL)
+	cfg.CleanAfterUse = true
+	pl := New(cfg)
+	pl.Register(mustProfile(t, "JS"))
+	for i := 0; i < 5; i++ {
+		pl.Invoke(time.Duration(i)*20*time.Second, "JS")
+	}
+	pl.Engine().Run()
+	if pl.Metrics().Errors.Value() != 0 {
+		t.Fatal("errors")
+	}
+	// After the final expiry everything is released.
+	if pl.Node().Used() != 0 {
+		t.Fatalf("node memory leaked: %d", pl.Node().Used())
+	}
+}

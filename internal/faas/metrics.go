@@ -1,0 +1,150 @@
+package faas
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FnMetrics collects per-function latency distributions (milliseconds).
+type FnMetrics struct {
+	Startup sim.Histogram
+	Exec    sim.Histogram
+	E2E     sim.Histogram
+}
+
+// Metrics aggregates a platform run.
+type Metrics struct {
+	PerFn map[string]*FnMetrics
+	All   FnMetrics
+
+	WarmHits      sim.Counter
+	ColdStarts    sim.Counter // sandbox built from scratch
+	Repurposes    sim.Counter
+	Restores      sim.Counter // criu / lazy restores
+	Evictions     sim.Counter
+	Queued        sim.Counter // invocations that waited for a per-function slot
+	Promotions    sim.Counter // hot working sets promoted to local DRAM
+	CleanRestores sim.Counter // Groundhog-style post-request scrubs
+	Errors        sim.Counter
+}
+
+// NewMetrics returns empty metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{PerFn: make(map[string]*FnMetrics)}
+}
+
+// Fn returns (creating if needed) the per-function metrics.
+func (m *Metrics) Fn(name string) *FnMetrics {
+	fm, ok := m.PerFn[name]
+	if !ok {
+		fm = &FnMetrics{}
+		m.PerFn[name] = fm
+	}
+	return fm
+}
+
+// Record stores one invocation's outcome.
+func (m *Metrics) Record(fn string, st core.Startup, es core.ExecStats, e2e time.Duration) {
+	fm := m.Fn(fn)
+	fm.Startup.AddDuration(st.Total())
+	fm.Exec.AddDuration(es.Total)
+	fm.E2E.AddDuration(e2e)
+	m.All.Startup.AddDuration(st.Total())
+	m.All.Exec.AddDuration(es.Total)
+	m.All.E2E.AddDuration(e2e)
+	switch st.Path {
+	case core.PathWarm:
+		m.WarmHits.Inc()
+	case core.PathCold:
+		m.ColdStarts.Inc()
+	case core.PathRepurpose:
+		m.Repurposes.Inc()
+	case core.PathCRIU, core.PathLazyVM:
+		m.Restores.Inc()
+	}
+}
+
+// Invocations returns the recorded invocation count.
+func (m *Metrics) Invocations() int { return m.All.E2E.N() }
+
+// Functions returns the recorded function names, sorted.
+func (m *Metrics) Functions() []string {
+	names := make([]string, 0, len(m.PerFn))
+	for n := range m.PerFn {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary renders a compact human-readable report.
+func (m *Metrics) Summary() string {
+	s := fmt.Sprintf("invocations=%d warm=%d cold=%d repurposed=%d restored=%d evicted=%d errors=%d\n",
+		m.Invocations(), m.WarmHits.Value(), m.ColdStarts.Value(), m.Repurposes.Value(),
+		m.Restores.Value(), m.Evictions.Value(), m.Errors.Value())
+	s += fmt.Sprintf("  e2e(ms): %s\n", m.All.E2E.Summary())
+	s += fmt.Sprintf("  startup(ms): %s\n", m.All.Startup.Summary())
+	return s
+}
+
+// FnExport is a serializable per-function summary.
+type FnExport struct {
+	Invocations  int     `json:"invocations"`
+	E2EP50Ms     float64 `json:"e2e_p50_ms"`
+	E2EP99Ms     float64 `json:"e2e_p99_ms"`
+	StartupP99Ms float64 `json:"startup_p99_ms"`
+	ExecP99Ms    float64 `json:"exec_p99_ms"`
+}
+
+// Export is a serializable view of a run's metrics, for control planes
+// and result files.
+type Export struct {
+	Invocations   int                 `json:"invocations"`
+	WarmHits      int64               `json:"warm_hits"`
+	ColdStarts    int64               `json:"cold_starts"`
+	Repurposes    int64               `json:"repurposes"`
+	Restores      int64               `json:"restores"`
+	Evictions     int64               `json:"evictions"`
+	Queued        int64               `json:"queued"`
+	Promotions    int64               `json:"promotions"`
+	CleanRestores int64               `json:"clean_restores"`
+	Errors        int64               `json:"errors"`
+	E2EP50Ms      float64             `json:"e2e_p50_ms"`
+	E2EP99Ms      float64             `json:"e2e_p99_ms"`
+	StartupP99Ms  float64             `json:"startup_p99_ms"`
+	PerFunction   map[string]FnExport `json:"per_function"`
+}
+
+// Export snapshots the metrics into a serializable structure.
+func (m *Metrics) Export() Export {
+	out := Export{
+		Invocations:   m.Invocations(),
+		WarmHits:      m.WarmHits.Value(),
+		ColdStarts:    m.ColdStarts.Value(),
+		Repurposes:    m.Repurposes.Value(),
+		Restores:      m.Restores.Value(),
+		Evictions:     m.Evictions.Value(),
+		Queued:        m.Queued.Value(),
+		Promotions:    m.Promotions.Value(),
+		CleanRestores: m.CleanRestores.Value(),
+		Errors:        m.Errors.Value(),
+		E2EP50Ms:      m.All.E2E.Percentile(50),
+		E2EP99Ms:      m.All.E2E.Percentile(99),
+		StartupP99Ms:  m.All.Startup.Percentile(99),
+		PerFunction:   make(map[string]FnExport, len(m.PerFn)),
+	}
+	for name, fm := range m.PerFn {
+		out.PerFunction[name] = FnExport{
+			Invocations:  fm.E2E.N(),
+			E2EP50Ms:     fm.E2E.Percentile(50),
+			E2EP99Ms:     fm.E2E.Percentile(99),
+			StartupP99Ms: fm.Startup.Percentile(99),
+			ExecP99Ms:    fm.Exec.Percentile(99),
+		}
+	}
+	return out
+}

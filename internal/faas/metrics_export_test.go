@@ -1,0 +1,34 @@
+package faas
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestMetricsExportRoundTrip(t *testing.T) {
+	pl := New(DefaultConfig(PolicyTrEnvCXL))
+	pl.Register(mustProfile(t, "JS"))
+	pl.Invoke(0, "JS")
+	pl.Invoke(time.Second, "JS")
+	pl.Engine().Run()
+	exp := pl.Metrics().Export()
+	if exp.Invocations != 2 || exp.WarmHits != 1 || exp.Errors != 0 {
+		t.Fatalf("export = %+v", exp)
+	}
+	fn, ok := exp.PerFunction["JS"]
+	if !ok || fn.Invocations != 2 || fn.E2EP99Ms <= 0 {
+		t.Fatalf("per-function export = %+v", fn)
+	}
+	raw, err := json.Marshal(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.E2EP99Ms != exp.E2EP99Ms || back.PerFunction["JS"] != fn {
+		t.Fatal("json round trip changed values")
+	}
+}

@@ -1,0 +1,53 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestPreWarmAbsorbsFirstBurst: with a pre-provisioned pool, even the
+// first-ever burst repurposes instead of building sandboxes.
+func TestPreWarmAbsorbsFirstBurst(t *testing.T) {
+	run := func(prewarm int) (repurposed, cold int64, p99 float64) {
+		cfg := DefaultConfig(PolicyTrEnvCXL)
+		cfg.PreWarmSandboxes = prewarm
+		pl := New(cfg)
+		pl.Register(mustProfile(t, "JS"))
+		tr := make(workload.Trace, 0, 10)
+		for i := 0; i < 10; i++ {
+			tr = append(tr, workload.Invocation{At: time.Duration(i) * 10 * time.Millisecond, Function: "JS"})
+		}
+		pl.RunTrace(tr)
+		m := pl.Metrics()
+		if m.Errors.Value() != 0 {
+			t.Fatalf("errors = %d", m.Errors.Value())
+		}
+		return m.Repurposes.Value(), m.ColdStarts.Value(), m.All.E2E.Percentile(99)
+	}
+	_, coldNo, p99No := run(0)
+	repYes, coldYes, p99Yes := run(10)
+	if coldNo == 0 {
+		t.Fatal("baseline should have cold sandbox builds")
+	}
+	if coldYes != 0 || repYes == 0 {
+		t.Fatalf("prewarmed run: cold=%d repurposed=%d", coldYes, repYes)
+	}
+	if p99Yes >= p99No {
+		t.Fatalf("prewarm did not improve first-burst p99: %.1f vs %.1f", p99Yes, p99No)
+	}
+}
+
+// TestPreWarmIgnoredForBaselines: non-TrEnv policies have no universal
+// pool to seed.
+func TestPreWarmIgnoredForBaselines(t *testing.T) {
+	cfg := DefaultConfig(PolicyCRIU)
+	cfg.PreWarmSandboxes = 5
+	pl := New(cfg)
+	pl.Register(mustProfile(t, "JS"))
+	pl.RunTrace(workload.Trace{{At: 0, Function: "JS"}})
+	if pl.Metrics().Repurposes.Value() != 0 {
+		t.Fatal("CRIU policy repurposed")
+	}
+}

@@ -1,0 +1,68 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func mustProfile(t *testing.T, name string) workload.FunctionProfile {
+	t.Helper()
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestHotPromotionRemovesCXLPenalty exercises the §9.2.1 tuning: after a
+// kept-alive instance has served enough invocations, its hot working set
+// is copied into node DRAM and execution stops paying the remote-access
+// inflation.
+func TestHotPromotionRemovesCXLPenalty(t *testing.T) {
+	run := func(promote int) (warmExecMs float64, peak int64) {
+		cfg := DefaultConfig(PolicyTrEnvCXL)
+		cfg.PromoteHotAfter = promote
+		pl := New(cfg)
+		pl.Register(mustProfile(t, "DH")) // CXLExecFactor 0.8: doubles on CXL
+		for i := 0; i < 6; i++ {
+			pl.Invoke(time.Duration(i)*5*time.Second, "DH")
+		}
+		pl.Engine().Run()
+		if pl.Metrics().Errors.Value() != 0 {
+			t.Fatalf("errors = %d", pl.Metrics().Errors.Value())
+		}
+		// Last warm executions reflect the steady state.
+		return pl.Metrics().Fn("DH").Exec.Min(), pl.PeakMemory()
+	}
+	noPromo, peakNo := run(0)
+	promo, peakYes := run(2)
+	if promo >= noPromo {
+		t.Fatalf("promotion did not speed warm exec: %v vs %v ms", promo, noPromo)
+	}
+	// Without inflation DH runs at ~base (60ms); with it, ~104ms.
+	if promo > 70 {
+		t.Fatalf("promoted exec = %.1fms, want ~base 60ms", promo)
+	}
+	// The speed costs memory: promoted pages are local now.
+	if peakYes <= peakNo {
+		t.Fatalf("promotion should raise node memory: %d vs %d", peakYes, peakNo)
+	}
+}
+
+func TestPromotionCountsMetric(t *testing.T) {
+	cfg := DefaultConfig(PolicyTrEnvCXL)
+	cfg.PromoteHotAfter = 1
+	pl := New(cfg)
+	pl.Register(mustProfile(t, "JS"))
+	// Three warm rounds: the second promotes, the third is a no-op (all
+	// pages already local, so Promotions must stay at 1).
+	pl.Invoke(0, "JS")
+	pl.Invoke(10*time.Second, "JS")
+	pl.Invoke(20*time.Second, "JS")
+	pl.Engine().Run()
+	if pl.Metrics().Promotions.Value() != 1 {
+		t.Fatalf("promotions = %d, want exactly 1 (idempotent)", pl.Metrics().Promotions.Value())
+	}
+}

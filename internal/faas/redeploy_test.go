@@ -1,0 +1,69 @@
+package faas
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRedeployReplacesImageAndDrainsWarm(t *testing.T) {
+	pl := New(DefaultConfig(PolicyTrEnvCXL))
+	js := mustProfile(t, "JS")
+	if err := pl.Register(js); err != nil {
+		t.Fatal(err)
+	}
+	pl.Invoke(0, "JS")
+	pl.Engine().RunUntil(5 * time.Second) // first version served; instance warm
+	if pl.WarmCount() != 1 {
+		t.Fatalf("warm = %d", pl.WarmCount())
+	}
+	poolBefore, _, _ := pl.PoolUsage()
+	oldImg := pl.Store().Image("JS")
+
+	// Redeploy a new version (bigger heap).
+	v2 := js
+	v2.MemBytes = js.MemBytes + (32 << 20)
+	if err := pl.Redeploy(v2); err != nil {
+		t.Fatal(err)
+	}
+	pl.Engine().RunUntil(6 * time.Second) // drain runs
+	if pl.WarmCount() != 0 {
+		t.Fatal("stale warm instances not drained")
+	}
+	newImg := pl.Store().Image("JS")
+	if newImg == oldImg || newImg == nil {
+		t.Fatal("image not replaced")
+	}
+	// Retired blocks released: pool holds one version (plus dedup'd
+	// shared content), not two.
+	poolAfter, _, _ := pl.PoolUsage()
+	if poolAfter >= poolBefore+v2.MemBytes {
+		t.Fatalf("old image not released: %d -> %d", poolBefore, poolAfter)
+	}
+
+	// New invocations attach the new template.
+	pl.Invoke(6*time.Second, "JS")
+	pl.Engine().Run()
+	var attaches int64
+	for _, tpl := range newImg.Templates {
+		attaches += tpl.Attaches()
+	}
+	if attaches != 1 {
+		t.Fatalf("new image attaches = %d", attaches)
+	}
+	if pl.Metrics().Errors.Value() != 0 {
+		t.Fatalf("errors = %d", pl.Metrics().Errors.Value())
+	}
+}
+
+func TestRedeployValidation(t *testing.T) {
+	pl := New(DefaultConfig(PolicyTrEnvCXL))
+	if err := pl.Redeploy(mustProfile(t, "JS")); err == nil {
+		t.Fatal("redeploy of unregistered function accepted")
+	}
+	plc := New(DefaultConfig(PolicyCRIU))
+	js := mustProfile(t, "JS")
+	plc.Register(js)
+	if err := plc.Redeploy(js); err == nil {
+		t.Fatal("redeploy on a non-template policy accepted")
+	}
+}

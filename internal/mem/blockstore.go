@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Block is one deduplicated, contiguous run of pages in a pool's
+// consolidated image. Its Offset is machine independent: every node
+// attached to the pool resolves the same offset to the same bytes, which
+// is what lets mm-templates be shared across hosts.
+type Block struct {
+	Key    string // content hash / identity of the data
+	Pages  int
+	Offset uint64 // byte offset within the pool
+	refs   int
+}
+
+// Bytes returns the block's size in bytes.
+func (b *Block) Bytes() int64 { return int64(b.Pages) * PageSize }
+
+// Refs returns the current reference count.
+func (b *Block) Refs() int { return b.refs }
+
+// BlockStore is the content-addressed allocator for a pool's consolidated
+// snapshot images. Putting the same content key twice returns the same
+// block (deduplication); blocks are freed when their refcount drops to
+// zero.
+type BlockStore struct {
+	pool    *Pool
+	blocks  map[string]*Block
+	nextOff uint64
+	dedups  int64 // Put calls satisfied by an existing block
+	puts    int64
+}
+
+// NewBlockStore creates a store allocating from pool.
+func NewBlockStore(pool *Pool) *BlockStore {
+	return &BlockStore{pool: pool, blocks: make(map[string]*Block)}
+}
+
+// Pool returns the backing pool.
+func (s *BlockStore) Pool() *Pool { return s.pool }
+
+// Put interns a block of content key with the given page count. If the key
+// already exists its refcount is bumped and dedup is true. Page counts for
+// the same key must agree.
+func (s *BlockStore) Put(key string, pages int) (b *Block, dedup bool, err error) {
+	if pages <= 0 {
+		return nil, false, fmt.Errorf("mem: block %q has %d pages", key, pages)
+	}
+	s.puts++
+	if b, ok := s.blocks[key]; ok {
+		if b.Pages != pages {
+			return nil, false, fmt.Errorf("mem: block %q size mismatch: have %d pages, put %d", key, b.Pages, pages)
+		}
+		b.refs++
+		s.dedups++
+		return b, true, nil
+	}
+	bytes := int64(pages) * PageSize
+	if err := s.pool.Tracker().Alloc(bytes); err != nil {
+		return nil, false, err
+	}
+	b = &Block{Key: key, Pages: pages, Offset: s.nextOff, refs: 1}
+	s.nextOff += uint64(bytes)
+	s.blocks[key] = b
+	return b, false, nil
+}
+
+// Get returns the block for key, or nil.
+func (s *BlockStore) Get(key string) *Block { return s.blocks[key] }
+
+// Release drops one reference to key, freeing the block's pool memory when
+// the count reaches zero.
+func (s *BlockStore) Release(key string) error {
+	b, ok := s.blocks[key]
+	if !ok {
+		return fmt.Errorf("mem: release of unknown block %q", key)
+	}
+	b.refs--
+	if b.refs < 0 {
+		panic(fmt.Sprintf("mem: block %q over-released", key))
+	}
+	if b.refs == 0 {
+		delete(s.blocks, key)
+		s.pool.Tracker().Free(b.Bytes())
+	}
+	return nil
+}
+
+// Blocks returns all live blocks sorted by offset (for inspection).
+func (s *BlockStore) Blocks() []*Block {
+	out := make([]*Block, 0, len(s.blocks))
+	for _, b := range s.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}
+
+// DedupRatio returns the fraction of Put calls answered by an existing
+// block (0 if no puts yet).
+func (s *BlockStore) DedupRatio() float64 {
+	if s.puts == 0 {
+		return 0
+	}
+	return float64(s.dedups) / float64(s.puts)
+}
+
+// UniqueBytes returns the bytes of pool memory held by live blocks.
+func (s *BlockStore) UniqueBytes() int64 {
+	var n int64
+	for _, b := range s.blocks {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// LogicalBytes returns what the stored images would occupy without
+// deduplication (sum of bytes times refcount).
+func (s *BlockStore) LogicalBytes() int64 {
+	var n int64
+	for _, b := range s.blocks {
+		n += b.Bytes() * int64(b.refs)
+	}
+	return n
+}

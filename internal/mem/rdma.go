@@ -1,0 +1,175 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RDMAServer models the paper's RDMA memory server (§7: ~700 LoC of
+// userspace): it pins and registers memory regions, hands out rkeys, and
+// serves one-sided reads over reliable-connection queue pairs. The model
+// carries what affects the evaluation: per-QP outstanding-request limits,
+// NIC-level contention that inflates latency under load, and the
+// microarchitectural "performance cliff" under bursts (§9.5).
+type RDMAServer struct {
+	lat      LatencyModel
+	capacity *Tracker
+	qps      []*QueuePair
+	regions  map[uint32]*MemRegion
+	nextRKey uint32
+	nextQP   int
+
+	reads  int64
+	cliffs int64
+}
+
+// QueuePair is one reliable connection between a client node and the
+// server.
+type QueuePair struct {
+	ID          int
+	Depth       int // max outstanding one-sided reads
+	outstanding int
+}
+
+// Outstanding returns in-flight reads on the QP.
+func (q *QueuePair) Outstanding() int { return q.outstanding }
+
+// MemRegion is a pinned, registered memory region addressable by rkey.
+type MemRegion struct {
+	RKey  uint32
+	Bytes int64
+}
+
+// ConnectCost is the QP handshake latency (out-of-band exchange + state
+// transitions); RegisterCostPerPage is pinning + MTT update per page.
+const (
+	ConnectCost         = 800 * time.Microsecond
+	RegisterCostPerPage = 600 * time.Nanosecond
+	defaultQPDepth      = 128
+)
+
+// NewRDMAServer creates a server managing capacity bytes (0 = unlimited).
+func NewRDMAServer(capacity int64, lat LatencyModel) *RDMAServer {
+	return &RDMAServer{
+		lat:      lat,
+		capacity: NewTracker("rdma-server", capacity),
+		regions:  make(map[uint32]*MemRegion),
+	}
+}
+
+// Tracker returns the server's capacity accounting.
+func (s *RDMAServer) Tracker() *Tracker { return s.capacity }
+
+// Reads returns the number of one-sided reads served.
+func (s *RDMAServer) Reads() int64 { return s.reads }
+
+// Cliffs returns how many reads hit the tail-latency cliff.
+func (s *RDMAServer) Cliffs() int64 { return s.cliffs }
+
+// Connect establishes a queue pair for a client node; the returned
+// latency is the handshake cost the caller should sleep through.
+func (s *RDMAServer) Connect() (*QueuePair, time.Duration) {
+	qp := &QueuePair{ID: len(s.qps) + 1, Depth: defaultQPDepth}
+	s.qps = append(s.qps, qp)
+	return qp, ConnectCost
+}
+
+// Register pins a memory region of the given size and returns its rkey
+// plus the registration latency (page pinning + translation-table
+// updates).
+func (s *RDMAServer) Register(bytes int64) (*MemRegion, time.Duration, error) {
+	if bytes <= 0 {
+		return nil, 0, fmt.Errorf("mem: rdma register of %d bytes", bytes)
+	}
+	if err := s.capacity.Alloc(bytes); err != nil {
+		return nil, 0, err
+	}
+	s.nextRKey++
+	r := &MemRegion{RKey: s.nextRKey, Bytes: bytes}
+	s.regions[r.RKey] = r
+	return r, time.Duration(PagesFor(bytes)) * RegisterCostPerPage, nil
+}
+
+// Deregister unpins a region.
+func (s *RDMAServer) Deregister(rkey uint32) error {
+	r, ok := s.regions[rkey]
+	if !ok {
+		return fmt.Errorf("mem: rdma deregister of unknown rkey %d", rkey)
+	}
+	delete(s.regions, rkey)
+	s.capacity.Free(r.Bytes)
+	return nil
+}
+
+// Region looks a registered region up by rkey.
+func (s *RDMAServer) Region(rkey uint32) (*MemRegion, bool) {
+	r, ok := s.regions[rkey]
+	return r, ok
+}
+
+// totalOutstanding sums in-flight reads across QPs (NIC pressure).
+func (s *RDMAServer) totalOutstanding() int {
+	n := 0
+	for _, qp := range s.qps {
+		n += qp.outstanding
+	}
+	return n
+}
+
+// BeginRead/EndRead bracket an in-flight read batch on a QP so
+// concurrent sessions see each other's load.
+func (s *RDMAServer) BeginRead(qp *QueuePair) { qp.outstanding++ }
+
+// EndRead completes a batch.
+func (s *RDMAServer) EndRead(qp *QueuePair) {
+	if qp.outstanding == 0 {
+		panic("mem: rdma EndRead without BeginRead")
+	}
+	qp.outstanding--
+}
+
+// ReadLatency prices a one-sided read of pages 4 KiB pages on qp,
+// against the registered region rkey. Offsets past the region fail. The
+// caller sleeps the result between BeginRead/EndRead.
+func (s *RDMAServer) ReadLatency(rng *rand.Rand, qp *QueuePair, rkey uint32, offset int64, pages int) (time.Duration, error) {
+	r, ok := s.regions[rkey]
+	if !ok {
+		return 0, fmt.Errorf("mem: rdma read with invalid rkey %d", rkey)
+	}
+	if pages <= 0 || offset < 0 || offset+int64(pages)*PageSize > r.Bytes {
+		return 0, fmt.Errorf("mem: rdma read [%d,+%d pages) outside region %d (%d bytes)", offset, pages, rkey, r.Bytes)
+	}
+	s.reads++
+	per := float64(s.lat.RDMAFetch)
+	// NIC-level contention across all QPs.
+	per *= 1 + s.lat.RDMAContentionFactor*float64(s.totalOutstanding())
+	// QP depth exceeded: requests queue behind the send queue.
+	if qp.outstanding > qp.Depth {
+		per *= float64(qp.outstanding) / float64(qp.Depth)
+	}
+	if s.totalOutstanding() >= s.lat.RDMAContentionThreshold &&
+		rng.Float64() < s.lat.RDMACliffProbability {
+		per *= s.lat.RDMACliffFactor
+		s.cliffs++
+	}
+	return time.Duration(per * float64(pages)), nil
+}
+
+// AttachRDMAServer backs an RDMA pool with a server: fetches route
+// through qp against the region holding the pool's consolidated images,
+// so NIC/QP contention shapes fetch latency. The pool's own outstanding
+// counter keeps mirroring load for callers that bracket with
+// BeginFetch/EndFetch.
+func (p *Pool) AttachRDMAServer(s *RDMAServer, qp *QueuePair, rkey uint32) error {
+	if p.kind != RDMA {
+		return fmt.Errorf("mem: AttachRDMAServer on %s pool", p.kind)
+	}
+	if _, ok := s.regions[rkey]; !ok {
+		return fmt.Errorf("mem: AttachRDMAServer with unknown rkey %d", rkey)
+	}
+	p.rdmaServer = s
+	p.rdmaQP = qp
+	p.rdmaRKey = rkey
+	return nil
+}

@@ -1,0 +1,157 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newServer(t *testing.T) *RDMAServer {
+	t.Helper()
+	lat := DefaultLatencyModel()
+	lat.RDMACliffProbability = 0
+	return NewRDMAServer(0, lat)
+}
+
+func TestRDMAConnectAndRegister(t *testing.T) {
+	s := newServer(t)
+	qp, d := s.Connect()
+	if qp == nil || d != ConnectCost {
+		t.Fatalf("connect: %v %v", qp, d)
+	}
+	r, reg, err := s.Register(100 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg != 100*RegisterCostPerPage {
+		t.Fatalf("register cost = %v", reg)
+	}
+	if got, ok := s.Region(r.RKey); !ok || got != r {
+		t.Fatal("region not indexed by rkey")
+	}
+	if s.Tracker().Used() != 100*PageSize {
+		t.Fatalf("server capacity used = %d", s.Tracker().Used())
+	}
+	if err := s.Deregister(r.RKey); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracker().Used() != 0 {
+		t.Fatal("deregister leaked capacity")
+	}
+	if err := s.Deregister(r.RKey); err == nil {
+		t.Fatal("double deregister succeeded")
+	}
+}
+
+func TestRDMARegisterValidation(t *testing.T) {
+	s := newServer(t)
+	if _, _, err := s.Register(0); err == nil {
+		t.Fatal("zero-byte region accepted")
+	}
+	bounded := NewRDMAServer(10*PageSize, DefaultLatencyModel())
+	if _, _, err := bounded.Register(20 * PageSize); err == nil {
+		t.Fatal("over-capacity region accepted")
+	}
+}
+
+func TestRDMAReadBoundsChecked(t *testing.T) {
+	s := newServer(t)
+	qp, _ := s.Connect()
+	r, _, _ := s.Register(10 * PageSize)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := s.ReadLatency(rng, qp, r.RKey, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadLatency(rng, qp, r.RKey, 0, 11); err == nil {
+		t.Fatal("read past region accepted")
+	}
+	if _, err := s.ReadLatency(rng, qp, r.RKey, 8*PageSize, 3); err == nil {
+		t.Fatal("straddling read accepted")
+	}
+	if _, err := s.ReadLatency(rng, qp, 999, 0, 1); err == nil {
+		t.Fatal("invalid rkey accepted")
+	}
+}
+
+func TestRDMANICContentionAcrossQPs(t *testing.T) {
+	s := newServer(t)
+	qpA, _ := s.Connect()
+	qpB, _ := s.Connect()
+	r, _, _ := s.Register(1000 * PageSize)
+	rng := rand.New(rand.NewSource(1))
+	quiet, _ := s.ReadLatency(rng, qpA, r.RKey, 0, 10)
+	// Load on B inflates A's reads: the NIC is shared.
+	for i := 0; i < 40; i++ {
+		s.BeginRead(qpB)
+	}
+	loaded, _ := s.ReadLatency(rng, qpA, r.RKey, 0, 10)
+	if loaded <= quiet {
+		t.Fatalf("cross-QP contention missing: %v vs %v", loaded, quiet)
+	}
+	for i := 0; i < 40; i++ {
+		s.EndRead(qpB)
+	}
+	if qpB.Outstanding() != 0 {
+		t.Fatal("outstanding leaked")
+	}
+}
+
+func TestRDMAQPDepthQueueing(t *testing.T) {
+	s := newServer(t)
+	qp, _ := s.Connect()
+	r, _, _ := s.Register(1000 * PageSize)
+	rng := rand.New(rand.NewSource(1))
+	base, _ := s.ReadLatency(rng, qp, r.RKey, 0, 1)
+	// Exceed the QP depth: send-queue waits multiply latency.
+	for i := 0; i < 2*qp.Depth; i++ {
+		s.BeginRead(qp)
+	}
+	deep, _ := s.ReadLatency(rng, qp, r.RKey, 0, 1)
+	if deep < base*2 {
+		t.Fatalf("depth overflow not penalized: %v vs %v", deep, base)
+	}
+}
+
+func TestRDMACliffCounted(t *testing.T) {
+	lat := DefaultLatencyModel()
+	lat.RDMACliffProbability = 1
+	s := NewRDMAServer(0, lat)
+	qp, _ := s.Connect()
+	r, _, _ := s.Register(1000 * PageSize)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < lat.RDMAContentionThreshold; i++ {
+		s.BeginRead(qp)
+	}
+	before, _ := s.ReadLatency(rng, qp, r.RKey, 0, 1)
+	if s.Cliffs() != 1 {
+		t.Fatalf("cliffs = %d", s.Cliffs())
+	}
+	if before < lat.RDMAFetch*time.Duration(lat.RDMACliffFactor) {
+		t.Fatalf("cliff latency %v below factor", before)
+	}
+}
+
+func TestPoolAttachRDMAServer(t *testing.T) {
+	lat := DefaultLatencyModel()
+	lat.RDMACliffProbability = 0
+	s := NewRDMAServer(0, lat)
+	qp, _ := s.Connect()
+	r, _, _ := s.Register(1 << 30)
+	pool := NewPool(RDMA, 0, lat)
+	if err := pool.AttachRDMAServer(s, qp, r.RKey); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	pool.FetchLatency(rng, 10)
+	if s.Reads() != 1 {
+		t.Fatalf("server reads = %d; fetches must route through it", s.Reads())
+	}
+	// Non-RDMA pool rejected; bad rkey rejected.
+	cxl := NewPool(CXL, 0, lat)
+	if err := cxl.AttachRDMAServer(s, qp, r.RKey); err == nil {
+		t.Fatal("CXL pool accepted an RDMA server")
+	}
+	if err := pool.AttachRDMAServer(s, qp, 999); err == nil {
+		t.Fatal("bad rkey accepted")
+	}
+}

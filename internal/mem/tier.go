@@ -1,0 +1,183 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TierManager places consolidated-image blocks across a hot
+// byte-addressable tier (CXL) and a cold message-based tier (RDMA/NAS) —
+// the paper's multi-layer architecture (§3.1): "the strategic placement
+// of hot pages in the upper layers ... and cold pages in the lower
+// layers", with the specific promotion policy left orthogonal. This is
+// one such policy: greedy frequency-based promotion under a hot-tier
+// byte budget.
+type TierManager struct {
+	hot       *Pool
+	cold      *Pool
+	hotBudget int64
+	blocks    map[string]*tierBlock
+
+	promotions int64
+	demotions  int64
+}
+
+type tierBlock struct {
+	key      string
+	pages    int
+	hot      bool
+	accesses int64
+}
+
+// NewTierManager manages placement with at most hotBudget bytes on the
+// hot tier (0 means the hot pool's capacity, which must then be set).
+func NewTierManager(hot, cold *Pool, hotBudget int64) (*TierManager, error) {
+	if hot == nil || cold == nil {
+		return nil, fmt.Errorf("mem: tier manager needs both tiers")
+	}
+	if !hot.Kind().ByteAddressable() {
+		return nil, fmt.Errorf("mem: hot tier %s is not byte-addressable", hot.Kind())
+	}
+	if hotBudget == 0 {
+		hotBudget = hot.Tracker().Capacity()
+	}
+	if hotBudget <= 0 {
+		return nil, fmt.Errorf("mem: tier manager needs a hot budget")
+	}
+	return &TierManager{
+		hot: hot, cold: cold, hotBudget: hotBudget,
+		blocks: make(map[string]*tierBlock),
+	}, nil
+}
+
+// Promotions and Demotions report rebalancing activity.
+func (m *TierManager) Promotions() int64 { return m.promotions }
+
+// Demotions reports blocks moved to the cold tier.
+func (m *TierManager) Demotions() int64 { return m.demotions }
+
+// Place registers a block, initially on the cold tier (promotion is
+// earned by access frequency). Placing the same key twice is an error.
+func (m *TierManager) Place(key string, pages int) error {
+	if pages <= 0 {
+		return fmt.Errorf("mem: placing %q with %d pages", key, pages)
+	}
+	if _, ok := m.blocks[key]; ok {
+		return fmt.Errorf("mem: block %q already placed", key)
+	}
+	if err := m.cold.Tracker().Alloc(int64(pages) * PageSize); err != nil {
+		return err
+	}
+	m.blocks[key] = &tierBlock{key: key, pages: pages}
+	return nil
+}
+
+// Remove releases a block from whichever tier holds it.
+func (m *TierManager) Remove(key string) error {
+	b, ok := m.blocks[key]
+	if !ok {
+		return fmt.Errorf("mem: remove of unknown block %q", key)
+	}
+	m.tierOf(b).Tracker().Free(int64(b.pages) * PageSize)
+	delete(m.blocks, key)
+	return nil
+}
+
+func (m *TierManager) tierOf(b *tierBlock) *Pool {
+	if b.hot {
+		return m.hot
+	}
+	return m.cold
+}
+
+// RecordAccess bumps a block's access count (called per invocation that
+// touches the block).
+func (m *TierManager) RecordAccess(key string, n int64) error {
+	b, ok := m.blocks[key]
+	if !ok {
+		return fmt.Errorf("mem: access to unknown block %q", key)
+	}
+	if n < 0 {
+		return fmt.Errorf("mem: negative access count")
+	}
+	b.accesses += n
+	return nil
+}
+
+// TierOf reports which tier currently holds key.
+func (m *TierManager) TierOf(key string) (PoolKind, error) {
+	b, ok := m.blocks[key]
+	if !ok {
+		return 0, fmt.Errorf("mem: unknown block %q", key)
+	}
+	return m.tierOf(b).Kind(), nil
+}
+
+// HotBytes returns bytes of managed blocks on the hot tier.
+func (m *TierManager) HotBytes() int64 {
+	var n int64
+	for _, b := range m.blocks {
+		if b.hot {
+			n += int64(b.pages) * PageSize
+		}
+	}
+	return n
+}
+
+// Rebalance greedily packs the most-accessed blocks into the hot budget,
+// demoting colder blocks to make room. It returns the simulated copy
+// time of the data moved (the caller advances virtual time; rebalancing
+// runs off any invocation's critical path).
+func (m *TierManager) Rebalance(copyBandwidth float64) (time.Duration, error) {
+	if copyBandwidth <= 0 {
+		return 0, fmt.Errorf("mem: rebalance with bandwidth %v", copyBandwidth)
+	}
+	ordered := make([]*tierBlock, 0, len(m.blocks))
+	for _, b := range m.blocks {
+		ordered = append(ordered, b)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].accesses != ordered[j].accesses {
+			return ordered[i].accesses > ordered[j].accesses
+		}
+		return ordered[i].key < ordered[j].key // deterministic ties
+	})
+	// Decide the target hot set under the budget.
+	wantHot := make(map[string]bool)
+	var used int64
+	for _, b := range ordered {
+		bytes := int64(b.pages) * PageSize
+		if used+bytes <= m.hotBudget {
+			wantHot[b.key] = true
+			used += bytes
+		}
+	}
+	var moved int64
+	// Demote first to free hot-tier room, then promote.
+	for _, b := range ordered {
+		if b.hot && !wantHot[b.key] {
+			bytes := int64(b.pages) * PageSize
+			if err := m.cold.Tracker().Alloc(bytes); err != nil {
+				return 0, err
+			}
+			m.hot.Tracker().Free(bytes)
+			b.hot = false
+			m.demotions++
+			moved += bytes
+		}
+	}
+	for _, b := range ordered {
+		if !b.hot && wantHot[b.key] {
+			bytes := int64(b.pages) * PageSize
+			if err := m.hot.Tracker().Alloc(bytes); err != nil {
+				return 0, err
+			}
+			m.cold.Tracker().Free(bytes)
+			b.hot = true
+			m.promotions++
+			moved += bytes
+		}
+	}
+	return time.Duration(float64(moved) / copyBandwidth * float64(time.Second)), nil
+}

@@ -1,0 +1,181 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTiers(t *testing.T, hotBudget int64) (*TierManager, *Pool, *Pool) {
+	t.Helper()
+	lat := DefaultLatencyModel()
+	hot := NewPool(CXL, 0, lat)
+	cold := NewPool(RDMA, 0, lat)
+	m, err := NewTierManager(hot, cold, hotBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, hot, cold
+}
+
+func TestTierManagerValidation(t *testing.T) {
+	lat := DefaultLatencyModel()
+	if _, err := NewTierManager(nil, NewPool(RDMA, 0, lat), 1); err == nil {
+		t.Fatal("nil hot accepted")
+	}
+	if _, err := NewTierManager(NewPool(RDMA, 0, lat), NewPool(NAS, 0, lat), 1); err == nil {
+		t.Fatal("non-byte-addressable hot tier accepted")
+	}
+	if _, err := NewTierManager(NewPool(CXL, 0, lat), NewPool(RDMA, 0, lat), 0); err == nil {
+		t.Fatal("no budget accepted")
+	}
+	// Budget defaults to the hot pool's capacity when bounded.
+	if _, err := NewTierManager(NewPool(CXL, 1<<30, lat), NewPool(RDMA, 0, lat), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceStartsColdAndPromotesByFrequency(t *testing.T) {
+	m, hot, cold := newTiers(t, 100*PageSize)
+	for _, k := range []string{"hotlib", "coldlib"} {
+		if err := m.Place(k, 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hot.Tracker().Used() != 0 || cold.Tracker().Used() != 120*PageSize {
+		t.Fatal("placement should start cold")
+	}
+	m.RecordAccess("hotlib", 100)
+	m.RecordAccess("coldlib", 2)
+	d, err := m.Rebalance(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatal("rebalance moved data for free")
+	}
+	if tier, _ := m.TierOf("hotlib"); tier != CXL {
+		t.Fatal("hot block not promoted")
+	}
+	if tier, _ := m.TierOf("coldlib"); tier != RDMA {
+		t.Fatal("cold block promoted past budget")
+	}
+	if m.HotBytes() > 100*PageSize {
+		t.Fatal("budget exceeded")
+	}
+	if m.Promotions() != 1 {
+		t.Fatalf("promotions = %d", m.Promotions())
+	}
+}
+
+func TestRebalanceDemotesWhenHeatShifts(t *testing.T) {
+	m, _, _ := newTiers(t, 64*PageSize)
+	m.Place("a", 60)
+	m.Place("b", 60)
+	m.RecordAccess("a", 10)
+	m.Rebalance(1 << 30)
+	if tier, _ := m.TierOf("a"); tier != CXL {
+		t.Fatal("a not promoted")
+	}
+	// b becomes hotter; a must be demoted to fit b.
+	m.RecordAccess("b", 100)
+	m.Rebalance(1 << 30)
+	if tier, _ := m.TierOf("b"); tier != CXL {
+		t.Fatal("b not promoted after heating up")
+	}
+	if tier, _ := m.TierOf("a"); tier != RDMA {
+		t.Fatal("a not demoted")
+	}
+	if m.Demotions() != 1 {
+		t.Fatalf("demotions = %d", m.Demotions())
+	}
+}
+
+func TestTierAccounting(t *testing.T) {
+	m, hot, cold := newTiers(t, 1<<30)
+	m.Place("a", 10)
+	m.RecordAccess("a", 5)
+	m.Rebalance(1 << 30)
+	if hot.Tracker().Used() != 10*PageSize || cold.Tracker().Used() != 0 {
+		t.Fatalf("tier accounting: hot=%d cold=%d", hot.Tracker().Used(), cold.Tracker().Used())
+	}
+	if err := m.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if hot.Tracker().Used() != 0 {
+		t.Fatal("remove leaked hot bytes")
+	}
+	if err := m.Remove("a"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if err := m.RecordAccess("a", 1); err == nil {
+		t.Fatal("access to removed block accepted")
+	}
+	if _, err := m.TierOf("a"); err == nil {
+		t.Fatal("TierOf removed block succeeded")
+	}
+}
+
+// Property: after any access pattern and rebalance, (1) hot usage stays
+// within budget, and (2) every hot block is at least as hot as every
+// cold block that would fit in the remaining budget.
+func TestRebalanceGreedyOptimalProperty(t *testing.T) {
+	f := func(accessSeed int64, sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 12 {
+			sizes = sizes[:12]
+		}
+		lat := DefaultLatencyModel()
+		hot := NewPool(CXL, 0, lat)
+		cold := NewPool(RDMA, 0, lat)
+		budget := int64(40) * PageSize
+		m, err := NewTierManager(hot, cold, budget)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(accessSeed))
+		for i, s := range sizes {
+			key := string(rune('a' + i))
+			if err := m.Place(key, int(s%20)+1); err != nil {
+				return false
+			}
+			m.RecordAccess(key, rng.Int63n(100))
+		}
+		if _, err := m.Rebalance(1 << 30); err != nil {
+			return false
+		}
+		if m.HotBytes() > budget {
+			return false
+		}
+		// Greedy invariant: a cold block hotter than some hot block must
+		// not fit in the leftover budget (otherwise it should be hot).
+		var minHot int64 = 1 << 62
+		hasHot := false
+		for i := range sizes {
+			key := string(rune('a' + i))
+			if tier, _ := m.TierOf(key); tier == CXL {
+				hasHot = true
+				if m.blocks[key].accesses < minHot {
+					minHot = m.blocks[key].accesses
+				}
+			}
+		}
+		if !hasHot {
+			return true
+		}
+		left := budget - m.HotBytes()
+		for i := range sizes {
+			key := string(rune('a' + i))
+			b := m.blocks[key]
+			if !b.hot && b.accesses > minHot && int64(b.pages)*PageSize <= left {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package osproc models the process side of a function instance: a PID
+// namespace holding a process tree, with per-process threads and file
+// descriptor tables. This is the state CRIU's "repurpose" request
+// recreates inside a reused sandbox (Table 1's "other" process row:
+// multi-thread context, registers, sockets, open file descriptors), and
+// the state a sandbox Clean must terminate completely before the sandbox
+// can serve anyone else.
+package osproc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FDKind classifies a descriptor for restore-cost and teardown purposes.
+type FDKind uint8
+
+// Descriptor kinds.
+const (
+	FDFile FDKind = iota
+	FDSocket
+	FDPipe
+	FDEventFD
+)
+
+// String names the kind.
+func (k FDKind) String() string {
+	switch k {
+	case FDFile:
+		return "file"
+	case FDSocket:
+		return "socket"
+	case FDPipe:
+		return "pipe"
+	case FDEventFD:
+		return "eventfd"
+	}
+	return fmt.Sprintf("FDKind(%d)", uint8(k))
+}
+
+// FD is one open descriptor.
+type FD struct {
+	Num  int
+	Kind FDKind
+	Name string
+}
+
+// Thread is one schedulable entity of a process.
+type Thread struct {
+	TID int
+}
+
+// Process is one process in the namespace.
+type Process struct {
+	PID     int
+	Name    string
+	parent  *Process
+	threads []Thread
+	fds     map[int]FD
+	nextFD  int
+	alive   bool
+}
+
+// Threads returns the thread count (>= 1 for a live process).
+func (p *Process) Threads() int { return len(p.threads) }
+
+// Alive reports whether the process still runs.
+func (p *Process) Alive() bool { return p.alive }
+
+// OpenFDs returns the open descriptor count.
+func (p *Process) OpenFDs() int { return len(p.fds) }
+
+// Open allocates the lowest free descriptor number.
+func (p *Process) Open(kind FDKind, name string) (FD, error) {
+	if !p.alive {
+		return FD{}, fmt.Errorf("osproc: open on dead process %d", p.PID)
+	}
+	fd := FD{Num: p.nextFD, Kind: kind, Name: name}
+	p.fds[fd.Num] = fd
+	p.nextFD++
+	return fd, nil
+}
+
+// Close releases a descriptor.
+func (p *Process) Close(num int) error {
+	if _, ok := p.fds[num]; !ok {
+		return fmt.Errorf("osproc: close of bad fd %d in pid %d", num, p.PID)
+	}
+	delete(p.fds, num)
+	return nil
+}
+
+// Sockets returns the open socket count — what a repurposed sandbox's
+// netns teardown must have forced shut.
+func (p *Process) Sockets() int {
+	n := 0
+	for _, fd := range p.fds {
+		if fd.Kind == FDSocket {
+			n++
+		}
+	}
+	return n
+}
+
+// SpawnThreads adds n threads (clone without CLONE_THREAD unset).
+func (p *Process) SpawnThreads(n int) error {
+	if !p.alive {
+		return fmt.Errorf("osproc: thread spawn on dead process %d", p.PID)
+	}
+	if n <= 0 {
+		return fmt.Errorf("osproc: spawning %d threads", n)
+	}
+	base := len(p.threads)
+	for i := 0; i < n; i++ {
+		p.threads = append(p.threads, Thread{TID: p.PID*1000 + base + i})
+	}
+	return nil
+}
+
+// PIDNamespace is an isolated process tree.
+type PIDNamespace struct {
+	nextPID int
+	procs   map[int]*Process
+}
+
+// NewPIDNamespace returns an empty namespace.
+func NewPIDNamespace() *PIDNamespace {
+	return &PIDNamespace{procs: make(map[int]*Process)}
+}
+
+// Spawn creates a process (child of parent, which may be nil for the
+// namespace's init) with one main thread.
+func (ns *PIDNamespace) Spawn(parent *Process, name string) *Process {
+	ns.nextPID++
+	p := &Process{
+		PID:    ns.nextPID,
+		Name:   name,
+		parent: parent,
+		fds:    make(map[int]FD),
+		alive:  true,
+	}
+	p.threads = []Thread{{TID: p.PID * 1000}}
+	ns.procs[p.PID] = p
+	return p
+}
+
+// Get looks a process up by PID.
+func (ns *PIDNamespace) Get(pid int) (*Process, bool) {
+	p, ok := ns.procs[pid]
+	return p, ok
+}
+
+// Kill terminates a process and (like PID-namespace semantics on init
+// death) every descendant, closing their descriptors. It returns how
+// many processes died.
+func (ns *PIDNamespace) Kill(pid int) (int, error) {
+	root, ok := ns.procs[pid]
+	if !ok {
+		return 0, fmt.Errorf("osproc: kill of unknown pid %d", pid)
+	}
+	if !root.alive {
+		return 0, fmt.Errorf("osproc: kill of dead pid %d", pid)
+	}
+	killed := 0
+	var kill func(p *Process)
+	kill = func(p *Process) {
+		for _, c := range ns.children(p) {
+			kill(c)
+		}
+		p.alive = false
+		p.fds = make(map[int]FD)
+		p.threads = nil
+		delete(ns.procs, p.PID)
+		killed++
+	}
+	kill(root)
+	return killed, nil
+}
+
+// KillAll terminates every process (sandbox cleansing, step B1).
+func (ns *PIDNamespace) KillAll() int {
+	killed := 0
+	for _, p := range ns.roots() {
+		n, _ := ns.Kill(p.PID)
+		killed += n
+	}
+	return killed
+}
+
+// Live returns the number of running processes.
+func (ns *PIDNamespace) Live() int { return len(ns.procs) }
+
+// TotalThreads sums threads across live processes.
+func (ns *PIDNamespace) TotalThreads() int {
+	n := 0
+	for _, p := range ns.procs {
+		n += len(p.threads)
+	}
+	return n
+}
+
+// Processes returns live processes in PID order.
+func (ns *PIDNamespace) Processes() []*Process {
+	out := make([]*Process, 0, len(ns.procs))
+	for _, p := range ns.procs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+func (ns *PIDNamespace) children(p *Process) []*Process {
+	var out []*Process
+	for _, c := range ns.procs {
+		if c.parent == p {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+func (ns *PIDNamespace) roots() []*Process {
+	var out []*Process
+	for _, p := range ns.procs {
+		if p.parent == nil || !p.parent.alive {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
+}
+
+// RestoreTree rebuilds the process structure a snapshot describes inside
+// a fresh namespace: one process per image with its thread count and
+// descriptor table — what CRIU's clone()-based restore performs after
+// joining a repurposed sandbox.
+func RestoreTree(ns *PIDNamespace, procs []ProcSpec) ([]*Process, error) {
+	var out []*Process
+	var parent *Process
+	for _, spec := range procs {
+		if spec.Threads < 1 {
+			return nil, fmt.Errorf("osproc: restore of %q with %d threads", spec.Name, spec.Threads)
+		}
+		p := ns.Spawn(parent, spec.Name)
+		if spec.Threads > 1 {
+			if err := p.SpawnThreads(spec.Threads - 1); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < spec.FDs; i++ {
+			kind := FDFile
+			switch i % 4 {
+			case 1:
+				kind = FDSocket
+			case 2:
+				kind = FDPipe
+			case 3:
+				kind = FDEventFD
+			}
+			if _, err := p.Open(kind, fmt.Sprintf("fd-%d", i)); err != nil {
+				return nil, err
+			}
+		}
+		if parent == nil {
+			parent = p // first process is the tree root
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ProcSpec describes one process to restore.
+type ProcSpec struct {
+	Name    string
+	Threads int
+	FDs     int
+}

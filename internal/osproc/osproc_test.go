@@ -1,0 +1,160 @@
+package osproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpawnAndThreads(t *testing.T) {
+	ns := NewPIDNamespace()
+	p := ns.Spawn(nil, "python")
+	if p.PID != 1 || p.Threads() != 1 || !p.Alive() {
+		t.Fatalf("init process: %+v", p)
+	}
+	if err := p.SpawnThreads(13); err != nil {
+		t.Fatal(err)
+	}
+	if p.Threads() != 14 {
+		t.Fatalf("threads = %d", p.Threads())
+	}
+	if err := p.SpawnThreads(0); err == nil {
+		t.Fatal("zero thread spawn accepted")
+	}
+	if ns.TotalThreads() != 14 {
+		t.Fatalf("namespace threads = %d", ns.TotalThreads())
+	}
+}
+
+func TestFDTable(t *testing.T) {
+	ns := NewPIDNamespace()
+	p := ns.Spawn(nil, "proc")
+	a, _ := p.Open(FDFile, "/etc/config")
+	b, _ := p.Open(FDSocket, "tcp:443")
+	if a.Num != 0 || b.Num != 1 {
+		t.Fatalf("fd numbering: %d %d", a.Num, b.Num)
+	}
+	if p.OpenFDs() != 2 || p.Sockets() != 1 {
+		t.Fatalf("fds=%d sockets=%d", p.OpenFDs(), p.Sockets())
+	}
+	if err := p.Close(a.Num); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(a.Num); err == nil {
+		t.Fatal("double close accepted")
+	}
+}
+
+func TestKillCascades(t *testing.T) {
+	ns := NewPIDNamespace()
+	root := ns.Spawn(nil, "init")
+	child := ns.Spawn(root, "worker")
+	grand := ns.Spawn(child, "helper")
+	grand.Open(FDSocket, "s")
+	killed, err := ns.Kill(root.PID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if killed != 3 {
+		t.Fatalf("killed = %d", killed)
+	}
+	if ns.Live() != 0 {
+		t.Fatalf("live = %d", ns.Live())
+	}
+	if grand.Alive() || grand.OpenFDs() != 0 {
+		t.Fatal("descendant survived or kept fds")
+	}
+	if _, err := ns.Kill(root.PID); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	if _, err := grand.Open(FDFile, "x"); err == nil {
+		t.Fatal("open on dead process accepted")
+	}
+}
+
+func TestKillAll(t *testing.T) {
+	ns := NewPIDNamespace()
+	a := ns.Spawn(nil, "a")
+	ns.Spawn(a, "a-child")
+	ns.Spawn(nil, "b")
+	if killed := ns.KillAll(); killed != 3 {
+		t.Fatalf("killed = %d", killed)
+	}
+	if ns.Live() != 0 {
+		t.Fatal("survivors after KillAll")
+	}
+}
+
+func TestRestoreTreeMatchesSpecs(t *testing.T) {
+	ns := NewPIDNamespace()
+	procs, err := RestoreTree(ns, []ProcSpec{
+		{Name: "main", Threads: 14, FDs: 16},
+		{Name: "helper", Threads: 2, FDs: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 2 || ns.Live() != 2 {
+		t.Fatalf("restored %d/%d", len(procs), ns.Live())
+	}
+	if procs[0].Threads() != 14 || procs[0].OpenFDs() != 16 {
+		t.Fatalf("main restored wrong: %d threads %d fds", procs[0].Threads(), procs[0].OpenFDs())
+	}
+	if procs[1].Threads() != 2 || procs[1].OpenFDs() != 4 {
+		t.Fatal("helper restored wrong")
+	}
+	// Descriptor mix includes sockets (restored, then reset by netns
+	// teardown at the sandbox layer).
+	if procs[0].Sockets() == 0 {
+		t.Fatal("no sockets restored")
+	}
+	if _, err := RestoreTree(ns, []ProcSpec{{Name: "bad", Threads: 0}}); err == nil {
+		t.Fatal("0-thread spec accepted")
+	}
+}
+
+// Property: spawn/kill sequences keep Live() equal to the set of
+// never-killed spawns, and PIDs are unique.
+func TestNamespaceConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		ns := NewPIDNamespace()
+		var livePIDs []int
+		seen := map[int]bool{}
+		for _, op := range ops {
+			if op%3 != 0 || len(livePIDs) == 0 {
+				var parent *Process
+				if len(livePIDs) > 0 && op%2 == 0 {
+					parent, _ = ns.Get(livePIDs[int(op)%len(livePIDs)])
+				}
+				p := ns.Spawn(parent, "p")
+				if seen[p.PID] {
+					return false
+				}
+				seen[p.PID] = true
+				livePIDs = append(livePIDs, p.PID)
+			} else {
+				pid := livePIDs[int(op)%len(livePIDs)]
+				ns.Kill(pid)
+				// Recompute live list from the namespace (kill cascades).
+				livePIDs = livePIDs[:0]
+				for _, p := range ns.Processes() {
+					livePIDs = append(livePIDs, p.PID)
+				}
+			}
+			if ns.Live() != len(ns.Processes()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFDKindStrings(t *testing.T) {
+	for k, want := range map[FDKind]string{FDFile: "file", FDSocket: "socket", FDPipe: "pipe", FDEventFD: "eventfd"} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}

@@ -1,0 +1,587 @@
+// Package pagetable is a software MMU: virtual memory areas, per-page PTE
+// states, and the fault state machine TrEnv's mm-template relies on.
+//
+// A page is in one of four states:
+//
+//   - Unmapped: no backing yet (demand-zero anonymous memory). Any access
+//     takes a minor fault and allocates a local page.
+//   - RemoteDirect: a valid, write-protected PTE mapping byte-addressable
+//     pool memory (CXL). Reads need no fault and cost only the pool's
+//     direct-access latency; writes take a copy-on-write fault.
+//   - RemoteLazy: an invalid PTE carrying a remote offset (RDMA/NAS). Any
+//     access takes a major fault that fetches the 4 KB page into local
+//     memory.
+//   - Local: resident in node DRAM; accesses are free (folded into the
+//     workload's base execution time).
+//
+// A VMA's remote backing is described by segments, so a single region can
+// mix tiers — the paper's multi-layer placement of hot pages on CXL and
+// cold pages on RDMA/NAS. This reproduces exactly the event counts and
+// costs the evaluation measures: CXL's zero-software-overhead reads,
+// RDMA's per-page major faults, and CoW isolation for written pages.
+package pagetable
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// State is the backing state of one page.
+type State uint8
+
+const (
+	// Unmapped pages have no backing store yet (demand zero).
+	Unmapped State = iota
+	// RemoteDirect pages map byte-addressable pool memory read-only.
+	RemoteDirect
+	// RemoteLazy pages carry a remote offset behind an invalid PTE.
+	RemoteLazy
+	// Local pages are resident in node DRAM.
+	Local
+	numStates
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Unmapped:
+		return "unmapped"
+	case RemoteDirect:
+		return "remote-direct"
+	case RemoteLazy:
+		return "remote-lazy"
+	case Local:
+		return "local"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Prot is a page protection bitmask.
+type Prot uint8
+
+// Protection bits.
+const (
+	Read Prot = 1 << iota
+	Write
+	Exec
+)
+
+// MapKind distinguishes anonymous from file-backed mappings. The paper's
+// custom driver exists precisely because stock DAX cannot back anonymous
+// or regular-file mappings with CXL memory; here both kinds may carry
+// remote backing.
+type MapKind uint8
+
+const (
+	// Anon is an anonymous mapping (heap, stack).
+	Anon MapKind = iota
+	// File is a file-backed mapping (.text, .data, mapped libraries).
+	File
+)
+
+// Backing maps pages [First, First+Pages) of a VMA onto a pool at byte
+// offset Base (page i of the run lives at Base + i*PageSize).
+type Backing struct {
+	First int
+	Pages int
+	Pool  *mem.Pool
+	Base  uint64
+}
+
+// VMA is one virtual memory area with uniform protection.
+type VMA struct {
+	Name  string
+	Start uint64
+	Prot  Prot
+	Kind  MapKind
+
+	segs   []Backing // sorted by First, non-overlapping
+	states []State
+	counts [numStates]int
+
+	// dirty marks pages written since the last MarkClean — the delta an
+	// incremental checkpoint dumps.
+	dirty      []bool
+	dirtyCount int
+}
+
+// DirtyPages returns pages written since the last MarkClean.
+func (v *VMA) DirtyPages() int { return v.dirtyCount }
+
+func (v *VMA) markDirty(i int) {
+	if v.dirty == nil {
+		v.dirty = make([]bool, len(v.states))
+	}
+	if !v.dirty[i] {
+		v.dirty[i] = true
+		v.dirtyCount++
+	}
+}
+
+// Pages returns the VMA's page count.
+func (v *VMA) Pages() int { return len(v.states) }
+
+// Bytes returns the VMA's size in bytes.
+func (v *VMA) Bytes() int64 { return int64(len(v.states)) * mem.PageSize }
+
+// End returns the first address past the VMA.
+func (v *VMA) End() uint64 { return v.Start + uint64(v.Bytes()) }
+
+// CountIn reports how many pages are in state s.
+func (v *VMA) CountIn(s State) int { return v.counts[s] }
+
+// PageState returns the state of page index i.
+func (v *VMA) PageState(i int) State { return v.states[i] }
+
+// Backings returns the VMA's remote backing segments.
+func (v *VMA) Backings() []Backing { return v.segs }
+
+// PoolAt returns the pool backing page i, or nil.
+func (v *VMA) PoolAt(i int) *mem.Pool {
+	for _, s := range v.segs {
+		if i >= s.First && i < s.First+s.Pages {
+			return s.Pool
+		}
+	}
+	return nil
+}
+
+func (v *VMA) setState(i int, s State) {
+	v.counts[v.states[i]]--
+	v.states[i] = s
+	v.counts[s]++
+}
+
+func (v *VMA) addBacking(b Backing) error {
+	for _, s := range v.segs {
+		if b.First < s.First+s.Pages && s.First < b.First+b.Pages {
+			return fmt.Errorf("pagetable: VMA %q: backing [%d,%d) overlaps existing [%d,%d)",
+				v.Name, b.First, b.First+b.Pages, s.First, s.First+s.Pages)
+		}
+	}
+	v.segs = append(v.segs, b)
+	sort.Slice(v.segs, func(i, j int) bool { return v.segs[i].First < v.segs[j].First })
+	return nil
+}
+
+// Stats aggregates fault and transfer activity for an address space.
+type Stats struct {
+	MinorFaults    int64 // demand-zero + CoW trap entries
+	MajorFaults    int64 // faults requiring a remote fetch
+	CowPages       int64 // pages copied due to a write to protected memory
+	FetchedPages   int64 // pages pulled from RDMA/NAS pools
+	DirectAccess   int64 // CXL pages used via direct loads (no fault)
+	LocalAllocated int64 // bytes of node DRAM allocated
+}
+
+// AccessResult describes one aggregated access batch.
+type AccessResult struct {
+	MinorFaults  int
+	MajorFaults  int
+	CowPages     int
+	FetchedPages int
+	DirectPages  int
+	Latency      time.Duration
+}
+
+// AddressSpace is a process's memory map.
+type AddressSpace struct {
+	vmas  []*VMA // sorted by Start
+	local *mem.Tracker
+	lat   mem.LatencyModel
+	stats Stats
+	rss   int64 // bytes of local DRAM held
+}
+
+// NewAddressSpace creates an empty address space charging local pages to
+// tracker.
+func NewAddressSpace(local *mem.Tracker, lat mem.LatencyModel) *AddressSpace {
+	return &AddressSpace{local: local, lat: lat}
+}
+
+// Stats returns accumulated fault statistics.
+func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// RSS returns the bytes of node DRAM currently held.
+func (as *AddressSpace) RSS() int64 { return as.rss }
+
+// RemoteResidentBytes returns bytes still backed by remote pools
+// (RemoteDirect + RemoteLazy pages).
+func (as *AddressSpace) RemoteResidentBytes() int64 {
+	var pages int
+	for _, v := range as.vmas {
+		pages += v.counts[RemoteDirect] + v.counts[RemoteLazy]
+	}
+	return int64(pages) * mem.PageSize
+}
+
+// VMAs returns the address space's areas in address order.
+func (as *AddressSpace) VMAs() []*VMA { return as.vmas }
+
+// Region returns the VMA with the given name, or nil.
+func (as *AddressSpace) Region(name string) *VMA {
+	for _, v := range as.vmas {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+// ErrOverlap reports an attempted overlapping mapping.
+type ErrOverlap struct{ Name, Existing string }
+
+func (e *ErrOverlap) Error() string {
+	return fmt.Sprintf("pagetable: mapping %q overlaps %q", e.Name, e.Existing)
+}
+
+// AddVMA maps a new area. Every page starts in initState; when pool is
+// non-nil it backs the whole VMA starting at baseOffset. Overlapping an
+// existing VMA is an error.
+func (as *AddressSpace) AddVMA(name string, start uint64, pages int, prot Prot, kind MapKind, pool *mem.Pool, baseOffset uint64, initState State) (*VMA, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("pagetable: VMA %q has %d pages", name, pages)
+	}
+	if (initState == RemoteDirect || initState == RemoteLazy) && pool == nil {
+		return nil, fmt.Errorf("pagetable: VMA %q: remote state without a pool", name)
+	}
+	if initState == RemoteDirect && !pool.Kind().ByteAddressable() {
+		return nil, fmt.Errorf("pagetable: VMA %q: pool %s is not byte-addressable", name, pool.Kind())
+	}
+	end := start + uint64(pages)*mem.PageSize
+	for _, v := range as.vmas {
+		if start < v.End() && v.Start < end {
+			return nil, &ErrOverlap{Name: name, Existing: v.Name}
+		}
+	}
+	v := &VMA{Name: name, Start: start, Prot: prot, Kind: kind, states: make([]State, pages)}
+	v.counts[Unmapped] = pages
+	if pool != nil {
+		v.segs = []Backing{{First: 0, Pages: pages, Pool: pool, Base: baseOffset}}
+	}
+	if initState != Unmapped {
+		for i := range v.states {
+			v.states[i] = initState
+		}
+		v.counts[Unmapped] = 0
+		v.counts[initState] = pages
+		if initState == Local {
+			if err := as.allocLocal(int64(pages) * mem.PageSize); err != nil {
+				return nil, err
+			}
+		}
+	}
+	as.vmas = append(as.vmas, v)
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+	return v, nil
+}
+
+// SetBacking installs pool backing for pages [first, first+count) of v and
+// puts them in state s. It is how mm-template preconfigures PTEs:
+// RemoteDirect for byte-addressable pools (valid, write-protected entries)
+// and RemoteLazy otherwise (invalid entries holding the remote address).
+// The range must not already have a backing segment.
+func (as *AddressSpace) SetBacking(v *VMA, first, count int, pool *mem.Pool, base uint64, s State) error {
+	if first < 0 || count <= 0 || first+count > v.Pages() {
+		return fmt.Errorf("pagetable: SetBacking [%d,%d) outside VMA %q", first, first+count, v.Name)
+	}
+	switch s {
+	case RemoteDirect:
+		if pool == nil || !pool.Kind().ByteAddressable() {
+			return fmt.Errorf("pagetable: VMA %q: RemoteDirect requires a byte-addressable pool", v.Name)
+		}
+	case RemoteLazy:
+		if pool == nil {
+			return fmt.Errorf("pagetable: VMA %q: RemoteLazy requires a pool", v.Name)
+		}
+	case Local:
+		if err := as.allocLocal(int64(count) * mem.PageSize); err != nil {
+			return err
+		}
+	}
+	if pool != nil {
+		if err := v.addBacking(Backing{First: first, Pages: count, Pool: pool, Base: base}); err != nil {
+			return err
+		}
+	}
+	for i := first; i < first+count; i++ {
+		if v.states[i] == Local {
+			return fmt.Errorf("pagetable: VMA %q page %d already local", v.Name, i)
+		}
+		v.setState(i, s)
+	}
+	return nil
+}
+
+func (as *AddressSpace) allocLocal(bytes int64) error {
+	if err := as.local.Alloc(bytes); err != nil {
+		return err
+	}
+	as.rss += bytes
+	as.stats.LocalAllocated += bytes
+	return nil
+}
+
+// Find returns the VMA containing addr, or nil.
+func (as *AddressSpace) Find(addr uint64) *VMA {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].End() > addr })
+	if i < len(as.vmas) && as.vmas[i].Start <= addr {
+		return as.vmas[i]
+	}
+	return nil
+}
+
+// ErrProt reports an access violating a VMA's protection.
+type ErrProt struct {
+	VMA   string
+	Write bool
+}
+
+func (e *ErrProt) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("pagetable: %s access violates protection of %q", op, e.VMA)
+}
+
+// Touch accesses the single page containing addr. It returns the latency
+// the access incurs; the caller advances simulated time. rng samples
+// contention effects for remote fetches.
+func (as *AddressSpace) Touch(rng *rand.Rand, addr uint64, write bool) (time.Duration, error) {
+	v := as.Find(addr)
+	if v == nil {
+		return 0, fmt.Errorf("pagetable: fault at unmapped address %#x", addr)
+	}
+	res, err := as.accessVMA(rng, v, int((addr-v.Start)/mem.PageSize), 1, write)
+	return res.Latency, err
+}
+
+// Access performs an aggregated batch over the first readPages (read) and
+// writePages (written) pages of region v, the model's unit of workload
+// memory activity. Written pages are a prefix, matching the observation
+// that hot writable state clusters at region starts; read pages cover a
+// prefix too, so writes ⊆ reads when writePages <= readPages.
+// The returned latency covers faults, fetches (one contended batch per
+// pool), CoW copies, and CXL direct-access overheads.
+func (as *AddressSpace) Access(rng *rand.Rand, v *VMA, readPages, writePages int) (AccessResult, error) {
+	var total AccessResult
+	if writePages > 0 {
+		res, err := as.accessVMA(rng, v, 0, writePages, true)
+		if err != nil {
+			return total, err
+		}
+		total = addResults(total, res)
+	}
+	if readPages > writePages {
+		res, err := as.accessVMA(rng, v, writePages, readPages-writePages, false)
+		if err != nil {
+			return total, err
+		}
+		total = addResults(total, res)
+	}
+	return total, nil
+}
+
+func addResults(a, b AccessResult) AccessResult {
+	a.MinorFaults += b.MinorFaults
+	a.MajorFaults += b.MajorFaults
+	a.CowPages += b.CowPages
+	a.FetchedPages += b.FetchedPages
+	a.DirectPages += b.DirectPages
+	a.Latency += b.Latency
+	return a
+}
+
+// accessVMA touches pages [first, first+count) of v.
+func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, write bool) (AccessResult, error) {
+	var res AccessResult
+	if count <= 0 {
+		return res, nil
+	}
+	if first < 0 || first+count > v.Pages() {
+		return res, fmt.Errorf("pagetable: access [%d,%d) outside VMA %q (%d pages)", first, first+count, v.Name, v.Pages())
+	}
+	if write && v.Prot&Write == 0 {
+		return res, &ErrProt{VMA: v.Name, Write: true}
+	}
+	if !write && v.Prot&Read == 0 {
+		return res, &ErrProt{VMA: v.Name, Write: false}
+	}
+	var toZero int
+	fetch := make(map[*mem.Pool]int) // per-pool major-fault fetch batches
+	cow := make(map[*mem.Pool]int)   // per-pool CoW copies
+	direct := make(map[*mem.Pool]int)
+	segIdx := 0
+	poolFor := func(i int) *mem.Pool {
+		for segIdx < len(v.segs) && i >= v.segs[segIdx].First+v.segs[segIdx].Pages {
+			segIdx++
+		}
+		if segIdx < len(v.segs) && i >= v.segs[segIdx].First {
+			return v.segs[segIdx].Pool
+		}
+		return nil
+	}
+	for i := first; i < first+count; i++ {
+		if write {
+			v.markDirty(i)
+		}
+		switch v.states[i] {
+		case Local:
+			// free
+		case Unmapped:
+			toZero++
+			v.setState(i, Local)
+		case RemoteDirect:
+			p := poolFor(i)
+			if write {
+				cow[p]++
+				v.setState(i, Local)
+			} else {
+				direct[p]++
+			}
+		case RemoteLazy:
+			fetch[poolFor(i)]++
+			v.setState(i, Local)
+		}
+	}
+	var lat time.Duration
+	if toZero > 0 {
+		res.MinorFaults += toZero
+		lat += time.Duration(toZero) * as.lat.MinorFaultOverhead
+		if err := as.allocLocal(int64(toZero) * mem.PageSize); err != nil {
+			return res, err
+		}
+	}
+	for pool, n := range cow {
+		res.MinorFaults += n
+		res.CowPages += n
+		lat += time.Duration(n) * as.lat.MinorFaultOverhead
+		lat += pool.DirectAccessCost(n) // source read over CXL
+		lat += time.Duration(n) * as.lat.CowPageCopy
+		if err := as.allocLocal(int64(n) * mem.PageSize); err != nil {
+			return res, err
+		}
+	}
+	for pool, n := range fetch {
+		res.MajorFaults += n
+		res.FetchedPages += n
+		lat += time.Duration(n) * as.lat.FaultOverhead
+		// Contention is sampled from the pool's current outstanding load;
+		// callers that sleep through this latency are expected to hold
+		// BeginFetch/EndFetch on the pool for the sleep's duration so that
+		// concurrent sessions see each other.
+		lat += pool.FetchLatency(rng, n)
+		if err := as.allocLocal(int64(n) * mem.PageSize); err != nil {
+			return res, err
+		}
+	}
+	for pool, n := range direct {
+		res.DirectPages += n
+		lat += pool.DirectAccessCost(n)
+	}
+	res.Latency = lat
+	as.stats.MinorFaults += int64(res.MinorFaults)
+	as.stats.MajorFaults += int64(res.MajorFaults)
+	as.stats.CowPages += int64(res.CowPages)
+	as.stats.FetchedPages += int64(res.FetchedPages)
+	as.stats.DirectAccess += int64(res.DirectPages)
+	return res, nil
+}
+
+// Grow extends v by pages of demand-zero memory (e.g. heap growth via
+// brk). Grown pages default to local allocation on first touch — never to
+// adjacent pool memory — reproducing the paper's Figure 9(b) safety
+// property.
+func (as *AddressSpace) Grow(v *VMA, pages int) error {
+	if pages <= 0 {
+		return fmt.Errorf("pagetable: grow by %d pages", pages)
+	}
+	end := v.End() + uint64(pages)*mem.PageSize
+	for _, o := range as.vmas {
+		if o != v && v.End() < o.End() && o.Start < end {
+			return &ErrOverlap{Name: v.Name + "+growth", Existing: o.Name}
+		}
+	}
+	v.states = append(v.states, make([]State, pages)...)
+	if v.dirty != nil {
+		v.dirty = append(v.dirty, make([]bool, pages)...)
+	}
+	v.counts[Unmapped] += pages
+	return nil
+}
+
+// DirtyBytes sums pages written since the last MarkClean across VMAs.
+func (as *AddressSpace) DirtyBytes() int64 {
+	var pages int
+	for _, v := range as.vmas {
+		pages += v.dirtyCount
+	}
+	return int64(pages) * mem.PageSize
+}
+
+// MarkClean resets dirty tracking — called after a (pre-)dump so the
+// next incremental checkpoint copies only the new delta.
+func (as *AddressSpace) MarkClean() {
+	for _, v := range as.vmas {
+		v.dirty = nil
+		v.dirtyCount = 0
+	}
+}
+
+// MakeResident forces pages [first, first+count) of v into Local state,
+// allocating node DRAM, without charging fault costs or pool fetches. It
+// models bulk restore copies whose cost the caller accounts analytically
+// (e.g. REAP's eager working-set copy from a tmpfs snapshot file).
+func (as *AddressSpace) MakeResident(v *VMA, first, count int) error {
+	if first < 0 || count <= 0 || first+count > v.Pages() {
+		return fmt.Errorf("pagetable: MakeResident [%d,%d) outside VMA %q", first, first+count, v.Name)
+	}
+	var toAlloc int
+	for i := first; i < first+count; i++ {
+		if v.states[i] != Local {
+			toAlloc++
+			v.setState(i, Local)
+		}
+	}
+	if toAlloc > 0 {
+		if err := as.allocLocal(int64(toAlloc) * mem.PageSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prefetch forces pages [first, first+count) of v resident, as REAP-style
+// working-set prefetch does: remote pages are fetched in one batch,
+// unmapped pages are zero-filled. It returns the latency of the batch.
+func (as *AddressSpace) Prefetch(rng *rand.Rand, v *VMA, first, count int) (time.Duration, error) {
+	res, err := as.accessVMA(rng, v, first, count, false)
+	if err != nil {
+		return 0, err
+	}
+	return res.Latency, nil
+}
+
+// ReleaseAll returns every local page to the tracker and drops all
+// mappings. The address space must not be used afterwards.
+func (as *AddressSpace) ReleaseAll() {
+	if as.rss > 0 {
+		as.local.Free(as.rss)
+		as.rss = 0
+	}
+	as.vmas = nil
+}
+
+// TotalPages returns the mapped page count across all VMAs.
+func (as *AddressSpace) TotalPages() int {
+	var n int
+	for _, v := range as.vmas {
+		n += v.Pages()
+	}
+	return n
+}

@@ -1,0 +1,200 @@
+package sandbox
+
+import (
+	"fmt"
+	"time"
+)
+
+// Limits is the resource configuration applied to a sandbox's cgroup:
+// the cgroup-v2 controller knobs a serverless platform sets per
+// function (cpu.max, memory.max, io.max, pids.max).
+type Limits struct {
+	// CPUQuota is the fraction of one core the instance may use
+	// (cpu.max quota/period); 0 means unlimited.
+	CPUQuota float64
+	// MemoryBytes is memory.max; 0 means unlimited.
+	MemoryBytes int64
+	// IOBytesPerSec is io.max rbps+wbps; 0 means unlimited.
+	IOBytesPerSec int64
+	// Pids is pids.max; 0 means unlimited.
+	Pids int
+}
+
+// Validate rejects nonsensical limits.
+func (l Limits) Validate() error {
+	if l.CPUQuota < 0 || l.MemoryBytes < 0 || l.IOBytesPerSec < 0 || l.Pids < 0 {
+		return fmt.Errorf("sandbox: negative limit: %+v", l)
+	}
+	return nil
+}
+
+// ControllerSet tracks which cgroup-v2 controllers are enabled in the
+// subtree (the subtree_control file).
+type ControllerSet uint8
+
+// Controllers.
+const (
+	ControllerCPU ControllerSet = 1 << iota
+	ControllerMemory
+	ControllerIO
+	ControllerPids
+)
+
+// Has reports whether c enables ctrl.
+func (c ControllerSet) Has(ctrl ControllerSet) bool { return c&ctrl != 0 }
+
+// AllControllers is the standard serverless configuration.
+const AllControllers = ControllerCPU | ControllerMemory | ControllerIO | ControllerPids
+
+// CgroupNode is one directory of the cgroup-v2 hierarchy.
+type CgroupNode struct {
+	Name        string
+	Controllers ControllerSet
+	Limits      Limits
+	parent      *CgroupNode
+	children    map[string]*CgroupNode
+	// Procs counts member processes (cgroup.procs).
+	Procs int
+	// Frozen mirrors cgroup.freeze, used while checkpointing.
+	Frozen bool
+}
+
+// Hierarchy is a cgroup-v2 tree rooted at "/sys/fs/cgroup".
+type Hierarchy struct {
+	root *CgroupNode
+}
+
+// NewHierarchy creates a hierarchy with all controllers enabled at the
+// root.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{root: &CgroupNode{
+		Name:        "/",
+		Controllers: AllControllers,
+		children:    make(map[string]*CgroupNode),
+	}}
+}
+
+// Root returns the hierarchy root.
+func (h *Hierarchy) Root() *CgroupNode { return h.root }
+
+// MkDir creates a child cgroup under parent, inheriting the enabled
+// controller set (a child can only enable what its parent delegates).
+func (h *Hierarchy) MkDir(parent *CgroupNode, name string, limits Limits) (*CgroupNode, error) {
+	if err := limits.Validate(); err != nil {
+		return nil, err
+	}
+	if parent == nil {
+		parent = h.root
+	}
+	if _, ok := parent.children[name]; ok {
+		return nil, fmt.Errorf("sandbox: cgroup %s/%s exists", parent.Name, name)
+	}
+	n := &CgroupNode{
+		Name:        parent.Name + name + "/",
+		Controllers: parent.Controllers,
+		Limits:      limits,
+		parent:      parent,
+		children:    make(map[string]*CgroupNode),
+	}
+	parent.children[name] = n
+	return n, nil
+}
+
+// RmDir removes an empty leaf cgroup.
+func (h *Hierarchy) RmDir(n *CgroupNode) error {
+	if n == h.root {
+		return fmt.Errorf("sandbox: cannot remove the cgroup root")
+	}
+	if n.Procs > 0 {
+		return fmt.Errorf("sandbox: cgroup %s busy (%d procs)", n.Name, n.Procs)
+	}
+	if len(n.children) > 0 {
+		return fmt.Errorf("sandbox: cgroup %s has children", n.Name)
+	}
+	for name, c := range n.parent.children {
+		if c == n {
+			delete(n.parent.children, name)
+			return nil
+		}
+	}
+	return fmt.Errorf("sandbox: cgroup %s not linked", n.Name)
+}
+
+// AttachProc moves a process into n (the cgroup.procs write — the
+// RCU-synchronized migration path whose latency Table 1 measures).
+func (n *CgroupNode) AttachProc() { n.Procs++ }
+
+// DetachProc removes a process.
+func (n *CgroupNode) DetachProc() {
+	if n.Procs == 0 {
+		panic(fmt.Sprintf("sandbox: detach from empty cgroup %s", n.Name))
+	}
+	n.Procs--
+}
+
+// SetLimits reconfigures the controllers in place — the cheap part of
+// repurposing: writing cpu.max / memory.max does not need the migration
+// path's synchronization.
+func (n *CgroupNode) SetLimits(l Limits) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	n.Limits = l
+	return nil
+}
+
+// EffectiveLimit walks up the tree: the tightest ancestor bound wins
+// (cgroup-v2 semantics).
+func (n *CgroupNode) EffectiveLimit() Limits {
+	eff := n.Limits
+	for a := n.parent; a != nil; a = a.parent {
+		if a.Limits.CPUQuota > 0 && (eff.CPUQuota == 0 || a.Limits.CPUQuota < eff.CPUQuota) {
+			eff.CPUQuota = a.Limits.CPUQuota
+		}
+		if a.Limits.MemoryBytes > 0 && (eff.MemoryBytes == 0 || a.Limits.MemoryBytes < eff.MemoryBytes) {
+			eff.MemoryBytes = a.Limits.MemoryBytes
+		}
+		if a.Limits.IOBytesPerSec > 0 && (eff.IOBytesPerSec == 0 || a.Limits.IOBytesPerSec < eff.IOBytesPerSec) {
+			eff.IOBytesPerSec = a.Limits.IOBytesPerSec
+		}
+		if a.Limits.Pids > 0 && (eff.Pids == 0 || a.Limits.Pids < eff.Pids) {
+			eff.Pids = a.Limits.Pids
+		}
+	}
+	return eff
+}
+
+// Freeze/Thaw toggle cgroup.freeze (used around checkpoints).
+func (n *CgroupNode) Freeze() { n.Frozen = true }
+
+// Thaw unfreezes.
+func (n *CgroupNode) Thaw() { n.Frozen = false }
+
+// Walk visits n and its descendants depth-first.
+func (n *CgroupNode) Walk(fn func(*CgroupNode)) {
+	fn(n)
+	for _, c := range n.children {
+		c.Walk(fn)
+	}
+}
+
+// FunctionLimits derives the per-function cgroup configuration a
+// serverless platform applies: one core, the image size plus headroom of
+// memory, and conventional IO/pid bounds.
+func FunctionLimits(imageBytes int64) Limits {
+	return Limits{
+		CPUQuota:      1.0,
+		MemoryBytes:   imageBytes + (256 << 20),
+		IOBytesPerSec: 200 << 20,
+		Pids:          1024,
+	}
+}
+
+// ThrottledDuration returns how long cpuTime of work takes under a CPU
+// quota (cpu.max throttling stretches on-CPU bursts).
+func (l Limits) ThrottledDuration(cpuTime time.Duration) time.Duration {
+	if l.CPUQuota <= 0 || l.CPUQuota >= 1 {
+		return cpuTime
+	}
+	return time.Duration(float64(cpuTime) / l.CPUQuota)
+}

@@ -1,0 +1,192 @@
+package sandbox
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestHierarchyMkDirRmDir(t *testing.T) {
+	h := NewHierarchy()
+	n, err := h.MkDir(nil, "sb-1", FunctionLimits(100<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "/sb-1/" {
+		t.Fatalf("name = %q", n.Name)
+	}
+	if !n.Controllers.Has(ControllerCPU) || !n.Controllers.Has(ControllerMemory) {
+		t.Fatal("controllers not inherited")
+	}
+	if _, err := h.MkDir(nil, "sb-1", Limits{}); err == nil {
+		t.Fatal("duplicate mkdir succeeded")
+	}
+	child, err := h.MkDir(n, "nested", Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RmDir(n); err == nil {
+		t.Fatal("removed cgroup with children")
+	}
+	if err := h.RmDir(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RmDir(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RmDir(h.Root()); err == nil {
+		t.Fatal("removed root")
+	}
+}
+
+func TestRmDirBusyCgroup(t *testing.T) {
+	h := NewHierarchy()
+	n, _ := h.MkDir(nil, "sb-1", Limits{})
+	n.AttachProc()
+	if err := h.RmDir(n); err == nil {
+		t.Fatal("removed busy cgroup")
+	}
+	n.DetachProc()
+	if err := h.RmDir(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetachEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	h := NewHierarchy()
+	n, _ := h.MkDir(nil, "sb-1", Limits{})
+	n.DetachProc()
+}
+
+func TestEffectiveLimitTakesTightestAncestor(t *testing.T) {
+	h := NewHierarchy()
+	parent, _ := h.MkDir(nil, "tenant", Limits{CPUQuota: 0.5, MemoryBytes: 1 << 30})
+	child, _ := h.MkDir(parent, "fn", Limits{CPUQuota: 2, MemoryBytes: 4 << 30, Pids: 100})
+	eff := child.EffectiveLimit()
+	if eff.CPUQuota != 0.5 {
+		t.Fatalf("cpu = %v, parent should cap", eff.CPUQuota)
+	}
+	if eff.MemoryBytes != 1<<30 {
+		t.Fatalf("mem = %d", eff.MemoryBytes)
+	}
+	if eff.Pids != 100 {
+		t.Fatalf("pids = %d (no ancestor bound)", eff.Pids)
+	}
+}
+
+func TestLimitsValidation(t *testing.T) {
+	if err := (Limits{CPUQuota: -1}).Validate(); err == nil {
+		t.Fatal("negative quota accepted")
+	}
+	h := NewHierarchy()
+	if _, err := h.MkDir(nil, "x", Limits{MemoryBytes: -5}); err == nil {
+		t.Fatal("mkdir with bad limits succeeded")
+	}
+	n, _ := h.MkDir(nil, "y", Limits{})
+	if err := n.SetLimits(Limits{Pids: -1}); err == nil {
+		t.Fatal("SetLimits accepted bad limits")
+	}
+}
+
+func TestThrottledDuration(t *testing.T) {
+	l := Limits{CPUQuota: 0.5}
+	if got := l.ThrottledDuration(time.Second); got != 2*time.Second {
+		t.Fatalf("throttled = %v", got)
+	}
+	if got := (Limits{}).ThrottledDuration(time.Second); got != time.Second {
+		t.Fatalf("unlimited throttled = %v", got)
+	}
+	if got := (Limits{CPUQuota: 2}).ThrottledDuration(time.Second); got != time.Second {
+		t.Fatalf("over-provisioned throttled = %v", got)
+	}
+}
+
+func TestFreezeThaw(t *testing.T) {
+	h := NewHierarchy()
+	n, _ := h.MkDir(nil, "sb", Limits{})
+	n.Freeze()
+	if !n.Frozen {
+		t.Fatal("not frozen")
+	}
+	n.Thaw()
+	if n.Frozen {
+		t.Fatal("not thawed")
+	}
+}
+
+func TestFactoryLifecycleKeepsHierarchyConsistent(t *testing.T) {
+	f := NewFactory(DefaultCostModel())
+	runProc(t, func(p *sim.Proc) {
+		sb, _ := f.Create(p, "fnA")
+		if sb.Cgroup.Node == nil || sb.Cgroup.Node.Procs != 1 {
+			t.Error("create did not attach the process")
+			return
+		}
+		f.Clean(p, sb)
+		if sb.Cgroup.Node.Procs != 0 {
+			t.Error("clean did not detach")
+			return
+		}
+		p.Sleep(5 * time.Millisecond)
+		f.Repurpose(p, sb, "fnB")
+		if sb.Cgroup.Node.Procs != 1 {
+			t.Error("repurpose did not CLONE_INTO_CGROUP")
+			return
+		}
+		f.Clean(p, sb)
+		if err := f.Destroy(sb); err != nil {
+			t.Error(err)
+		}
+		// The hierarchy is empty again.
+		count := 0
+		f.Cgroups.Root().Walk(func(*CgroupNode) { count++ })
+		if count != 1 {
+			t.Errorf("hierarchy nodes = %d, want root only", count)
+		}
+	})
+}
+
+// Property: EffectiveLimit is monotone — a child's effective limit never
+// exceeds any ancestor's configured bound.
+func TestEffectiveLimitMonotoneProperty(t *testing.T) {
+	fn := func(quotas []uint8) bool {
+		h := NewHierarchy()
+		parent := h.Root()
+		var mins Limits
+		for i, q := range quotas {
+			if i >= 6 {
+				break
+			}
+			l := Limits{CPUQuota: float64(q%8) / 2, MemoryBytes: int64(q) << 20}
+			n, err := h.MkDir(parent, "n", l)
+			if err != nil {
+				return false
+			}
+			if l.CPUQuota > 0 && (mins.CPUQuota == 0 || l.CPUQuota < mins.CPUQuota) {
+				mins.CPUQuota = l.CPUQuota
+			}
+			if l.MemoryBytes > 0 && (mins.MemoryBytes == 0 || l.MemoryBytes < mins.MemoryBytes) {
+				mins.MemoryBytes = l.MemoryBytes
+			}
+			eff := n.EffectiveLimit()
+			if mins.CPUQuota > 0 && eff.CPUQuota != mins.CPUQuota {
+				return false
+			}
+			if mins.MemoryBytes > 0 && eff.MemoryBytes != mins.MemoryBytes {
+				return false
+			}
+			parent = n
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

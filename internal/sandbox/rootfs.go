@@ -1,0 +1,159 @@
+package sandbox
+
+import "fmt"
+
+// MountKind identifies one mountpoint in a container's mount namespace.
+type MountKind uint8
+
+// The mount set of a standard container rootfs (§5.2.1: building one
+// from scratch needs more than 9 mount, 6 mknod, and 1 pivot_root
+// syscalls).
+const (
+	MountProc MountKind = iota
+	MountSys
+	MountDev
+	MountDevPts
+	MountShm
+	MountMqueue
+	MountCgroup
+	MountTmp
+	MountBaseUnion // the base overlayfs root (shared dependencies)
+	MountFuncUnion // the function-specific overlay, overmounted on top
+)
+
+// String names the mount kind.
+func (k MountKind) String() string {
+	switch k {
+	case MountProc:
+		return "proc"
+	case MountSys:
+		return "sysfs"
+	case MountDev:
+		return "devtmpfs"
+	case MountDevPts:
+		return "devpts"
+	case MountShm:
+		return "shm"
+	case MountMqueue:
+		return "mqueue"
+	case MountCgroup:
+		return "cgroup2"
+	case MountTmp:
+		return "tmpfs"
+	case MountBaseUnion:
+		return "overlay(base)"
+	case MountFuncUnion:
+		return "overlay(func)"
+	}
+	return fmt.Sprintf("MountKind(%d)", uint8(k))
+}
+
+// Mount is one entry of a container's mount table.
+type Mount struct {
+	Kind     MountKind
+	Path     string
+	ReadOnly bool
+}
+
+// baseMounts returns the mount table of a freshly built container rootfs
+// (everything except the function-specific overlay).
+func baseMounts() []Mount {
+	return []Mount{
+		{MountBaseUnion, "/", false},
+		{MountProc, "/proc", false},
+		{MountSys, "/sys", true},
+		{MountDev, "/dev", false},
+		{MountDevPts, "/dev/pts", false},
+		{MountShm, "/dev/shm", false},
+		{MountMqueue, "/dev/mqueue", false},
+		{MountCgroup, "/sys/fs/cgroup", true},
+		{MountTmp, "/tmp", false},
+	}
+}
+
+// Overlay is a function-specific overlayfs: a read-only lower layer with
+// the function's dependencies, and a writable upper directory recording
+// the running instance's file modifications (which must be purged before
+// the sandbox can serve anyone else).
+type Overlay struct {
+	Function   string
+	UpperFiles int
+	UpperBytes int64
+	Mounted    bool
+}
+
+// RecordWrite notes files written by the current occupant.
+func (o *Overlay) RecordWrite(files int, bytes int64) {
+	if files < 0 || bytes < 0 {
+		panic("sandbox: negative overlay write")
+	}
+	o.UpperFiles += files
+	o.UpperBytes += bytes
+}
+
+// Purge deletes everything in the upper directory (and, in the real
+// system, remounts to flush stale inode caches).
+func (o *Overlay) Purge() {
+	o.UpperFiles = 0
+	o.UpperBytes = 0
+}
+
+// Dirty reports whether the upper directory holds residue.
+func (o *Overlay) Dirty() bool { return o.UpperFiles > 0 || o.UpperBytes > 0 }
+
+// OverlayPool keeps purged function-specific overlays for reuse instead
+// of discarding them after unmounting (§5.2.1's second enhancement).
+type OverlayPool struct {
+	idle   map[string][]*Overlay
+	hits   int64
+	misses int64
+}
+
+// Get returns a pooled overlay for fn, or a fresh one.
+func (p *OverlayPool) Get(fn string) *Overlay {
+	if p.idle == nil {
+		p.idle = make(map[string][]*Overlay)
+	}
+	list := p.idle[fn]
+	if len(list) > 0 {
+		o := list[len(list)-1]
+		p.idle[fn] = list[:len(list)-1]
+		p.hits++
+		return o
+	}
+	p.misses++
+	return &Overlay{Function: fn}
+}
+
+// Put returns an unmounted, purged overlay to the pool. Pooling a dirty
+// or mounted overlay is a bug: it would leak the previous instance's
+// files to a future one.
+func (p *OverlayPool) Put(o *Overlay) {
+	if o.Dirty() {
+		panic(fmt.Sprintf("sandbox: pooling dirty overlay of %q", o.Function))
+	}
+	if o.Mounted {
+		panic(fmt.Sprintf("sandbox: pooling mounted overlay of %q", o.Function))
+	}
+	if p.idle == nil {
+		p.idle = make(map[string][]*Overlay)
+	}
+	p.idle[o.Function] = append(p.idle[o.Function], o)
+}
+
+// Hits and Misses report pool effectiveness.
+func (p *OverlayPool) Hits() int64   { return p.hits }
+func (p *OverlayPool) Misses() int64 { return p.misses }
+
+// Len returns pooled overlays for fn.
+func (p *OverlayPool) Len(fn string) int { return len(p.idle[fn]) }
+
+// SyscallTally counts the namespace/filesystem syscalls issued, backing
+// the §5.2.1 comparison: a cold rootfs build needs >9 mounts, 6 mknods
+// and a pivot_root, while a repurposing transition needs 2 mounts.
+type SyscallTally struct {
+	Mounts     int64
+	Unmounts   int64
+	Mknods     int64
+	PivotRoots int64
+}

@@ -1,0 +1,164 @@
+package sandbox
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestColdRootfsBuildSyscallCounts(t *testing.T) {
+	f := NewFactory(DefaultCostModel())
+	runProc(t, func(p *sim.Proc) {
+		sb, _ := f.Create(p, "fnA")
+		// §5.2.1: a cold build needs >9 mounts, 6 mknods, 1 pivot_root.
+		if f.Syscalls.Mounts <= 9 {
+			t.Errorf("cold build mounts = %d, want > 9", f.Syscalls.Mounts)
+		}
+		if f.Syscalls.Mknods != 6 || f.Syscalls.PivotRoots != 1 {
+			t.Errorf("mknods=%d pivots=%d", f.Syscalls.Mknods, f.Syscalls.PivotRoots)
+		}
+		if sb.Rootfs.MountCount() != 10 {
+			t.Errorf("mount table size = %d", sb.Rootfs.MountCount())
+		}
+		if sb.Rootfs.Func == nil || !sb.Rootfs.Func.Mounted || sb.Rootfs.Func.Function != "fnA" {
+			t.Error("function overlay not mounted")
+		}
+	})
+}
+
+func TestRepurposeNeedsTwoMounts(t *testing.T) {
+	f := NewFactory(DefaultCostModel())
+	runProc(t, func(p *sim.Proc) {
+		sb, _ := f.Create(p, "fnA")
+		f.Clean(p, sb)
+		p.Sleep(5 * time.Millisecond)
+		before := f.Syscalls.Mounts
+		if _, err := f.Repurpose(p, sb, "fnB"); err != nil {
+			t.Error(err)
+			return
+		}
+		// §5.2.1: repurposing needs 2 mounts (plus one unmount).
+		if got := f.Syscalls.Mounts - before; got != 2 {
+			t.Errorf("repurpose mounts = %d, want 2", got)
+		}
+		if f.Syscalls.Unmounts != 1 {
+			t.Errorf("unmounts = %d", f.Syscalls.Unmounts)
+		}
+		if sb.Rootfs.Func.Function != "fnB" || !sb.Rootfs.Func.Mounted {
+			t.Error("fnB overlay not mounted")
+		}
+	})
+}
+
+func TestOverlayRecycledThroughPool(t *testing.T) {
+	f := NewFactory(DefaultCostModel())
+	runProc(t, func(p *sim.Proc) {
+		sb, _ := f.Create(p, "fnA")
+		aOverlay := sb.Rootfs.Func
+		f.Clean(p, sb)
+		p.Sleep(5 * time.Millisecond) // async purge done
+		f.Repurpose(p, sb, "fnB")
+		// fnA's overlay went back to the pool, purged and unmounted.
+		if aOverlay.Mounted || aOverlay.Dirty() {
+			t.Fatalf("recycled overlay state: mounted=%v dirty=%v", aOverlay.Mounted, aOverlay.Dirty())
+		}
+		if f.Overlays.Len("fnA") != 1 {
+			t.Fatalf("fnA overlays pooled = %d", f.Overlays.Len("fnA"))
+		}
+		// A later fnA start reuses it.
+		f.Clean(p, sb)
+		p.Sleep(5 * time.Millisecond)
+		f.Repurpose(p, sb, "fnA")
+		if sb.Rootfs.Func != aOverlay {
+			t.Fatal("overlay not reused from pool")
+		}
+		if f.Overlays.Hits() == 0 {
+			t.Fatal("pool hits not counted")
+		}
+	})
+}
+
+func TestUpperDirPurgedBeforeNextFunction(t *testing.T) {
+	// The §8.1.1 invariant: no files from the previous instance survive
+	// into the next one's view.
+	f := NewFactory(DefaultCostModel())
+	runProc(t, func(p *sim.Proc) {
+		sb, _ := f.Create(p, "fnA")
+		sb.Rootfs.Func.RecordWrite(12, 4<<20) // fnA wrote files
+		f.Clean(p, sb)
+		// Repurpose immediately (purge still pending => synchronous).
+		f.Repurpose(p, sb, "fnB")
+		if sb.Rootfs.Func.Dirty() {
+			t.Fatal("fnB sees a dirty upper dir")
+		}
+		if sb.Rootfs.DirtyUpper {
+			t.Fatal("rootfs still flagged dirty")
+		}
+	})
+}
+
+func TestOverlayPoolRejectsDirtyOrMounted(t *testing.T) {
+	var pool OverlayPool
+	dirty := &Overlay{Function: "a"}
+	dirty.RecordWrite(1, 10)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("pooling dirty overlay did not panic")
+			}
+		}()
+		pool.Put(dirty)
+	}()
+	mounted := &Overlay{Function: "a", Mounted: true}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("pooling mounted overlay did not panic")
+			}
+		}()
+		pool.Put(mounted)
+	}()
+}
+
+func TestOverlayRecordWriteValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative write did not panic")
+		}
+	}()
+	o := &Overlay{}
+	o.RecordWrite(-1, 0)
+}
+
+func TestMountKindStrings(t *testing.T) {
+	kinds := []MountKind{MountProc, MountSys, MountDev, MountDevPts, MountShm,
+		MountMqueue, MountCgroup, MountTmp, MountBaseUnion, MountFuncUnion}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("bad or duplicate mount kind string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBaseMountsShape(t *testing.T) {
+	ms := baseMounts()
+	if len(ms) != 9 {
+		t.Fatalf("base mounts = %d, want 9", len(ms))
+	}
+	if ms[0].Kind != MountBaseUnion || ms[0].Path != "/" {
+		t.Fatal("first mount must be the base union root")
+	}
+	ro := 0
+	for _, m := range ms {
+		if m.ReadOnly {
+			ro++
+		}
+	}
+	if ro == 0 {
+		t.Fatal("expected some read-only mounts (sysfs, cgroup2)")
+	}
+}

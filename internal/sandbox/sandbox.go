@@ -1,0 +1,414 @@
+// Package sandbox models the isolation components of a container sandbox
+// — network namespace, root filesystem, cgroup, and the miscellaneous
+// namespaces — with the creation/reuse cost structure of the paper's
+// Table 1, plus TrEnv's repurposable sandbox pool (§4, §5.2).
+//
+// The key asymmetry the paper exploits: creating these components is
+// expensive (and gets worse under concurrent cold starts: the kernel
+// serializes on global locks, e.g. ~400 ms of netns setup at 15
+// concurrent creations), while cleansing and reconfiguring an existing
+// sandbox costs around a millisecond:
+//
+//   - netns: reused verbatim after terminating connections — it leaks no
+//     data produced during processing (§8.1.1).
+//   - rootfs: overlayfs upper dir purged (asynchronously), the function-
+//     specific overlay swapped with 2 mount syscalls (§5.2.1).
+//   - cgroup: reconfigured and entered via CLONE_INTO_CGROUP at spawn
+//     time, bypassing the RCU-heavy migration path (§5.2.2).
+package sandbox
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// CostModel prices sandbox operations. Ranges follow Table 1; the Per-
+// Concurrent terms model the kernel-lock serialization observed under
+// concurrent cold starts.
+type CostModel struct {
+	// NetNSBase..NetNSMax: creating a network namespace plus veth pair.
+	NetNSBase          time.Duration
+	NetNSPerConcurrent time.Duration
+	NetNSMax           time.Duration
+
+	// Rootfs creation: >9 mounts, 6 mknod, pivot_root, ...
+	RootfsBase          time.Duration
+	RootfsPerConcurrent time.Duration
+	RootfsMax           time.Duration
+
+	// Cgroup creation and migration (the RCU-synchronized path).
+	CgroupCreateMin  time.Duration
+	CgroupCreateMax  time.Duration
+	CgroupMigrateMin time.Duration
+	CgroupMigrateMax time.Duration
+
+	// CloneIntoCgroup is the CLONE_INTO_CGROUP fast path used when
+	// spawning into a repurposed sandbox.
+	CloneIntoCgroupMin time.Duration
+	CloneIntoCgroupMax time.Duration
+
+	// OtherNS covers pid/time/uts/ipc namespaces (< 1 ms).
+	OtherNS time.Duration
+
+	// OverlayMount is one mount syscall for a function-specific overlay;
+	// repurposing needs two (unmount old + mount new).
+	OverlayMount time.Duration
+
+	// KillProcesses is terminating the previous instance's process tree.
+	KillProcesses time.Duration
+
+	// TeardownConns is forcibly closing the previous instance's network
+	// connections during repurposing.
+	TeardownConns time.Duration
+}
+
+// DefaultCostModel returns Table 1's cost structure.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		NetNSBase:           80 * time.Millisecond,
+		NetNSPerConcurrent:  22 * time.Millisecond, // 15 concurrent => ~400 ms
+		NetNSMax:            10 * time.Second,
+		RootfsBase:          10 * time.Millisecond,
+		RootfsPerConcurrent: 8 * time.Millisecond,
+		RootfsMax:           800 * time.Millisecond,
+		CgroupCreateMin:     16 * time.Millisecond,
+		CgroupCreateMax:     32 * time.Millisecond,
+		CgroupMigrateMin:    10 * time.Millisecond,
+		CgroupMigrateMax:    50 * time.Millisecond,
+		CloneIntoCgroupMin:  100 * time.Microsecond,
+		CloneIntoCgroupMax:  300 * time.Microsecond,
+		OtherNS:             800 * time.Microsecond,
+		OverlayMount:        250 * time.Microsecond,
+		KillProcesses:       300 * time.Microsecond,
+		TeardownConns:       200 * time.Microsecond,
+	}
+}
+
+func uniform(rng *rand.Rand, lo, hi time.Duration) time.Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + time.Duration(rng.Int63n(int64(hi-lo)))
+}
+
+func scaled(base, per, max time.Duration, concurrent int) time.Duration {
+	d := base + time.Duration(concurrent)*per
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// NetNS is an isolated network environment (namespace + veth).
+type NetNS struct {
+	ID          int
+	Connections int // open connections of the current occupant
+}
+
+// Rootfs is a mount namespace with a base union filesystem and one
+// function-specific overlay overmounted on top (§5.2.1).
+type Rootfs struct {
+	Overlay    string // function whose overlay is currently mounted
+	DirtyUpper bool   // upper dir holds the previous instance's writes
+	Mounts     []Mount
+	Func       *Overlay // the function-specific union filesystem
+}
+
+// MountCount returns the mount-table size.
+func (r *Rootfs) MountCount() int { return len(r.Mounts) }
+
+// Cgroup is a resource-isolation group.
+type Cgroup struct {
+	ID       int
+	Function string // whose limits are applied
+	Node     *CgroupNode
+}
+
+// Sandbox bundles the isolation components of one container or VM jailer.
+type Sandbox struct {
+	ID         int
+	Net        *NetNS
+	Rootfs     *Rootfs
+	Cgroup     *Cgroup
+	Function   string // current occupant ("" when clean in the pool)
+	Generation int    // times this sandbox has been repurposed
+}
+
+// Breakdown itemizes where sandbox-path latency went (Figure 4, Table 1).
+type Breakdown struct {
+	NetNS         time.Duration
+	Rootfs        time.Duration
+	CgroupCreate  time.Duration
+	CgroupMigrate time.Duration
+	Other         time.Duration
+}
+
+// Total sums the components.
+func (b Breakdown) Total() time.Duration {
+	return b.NetNS + b.Rootfs + b.CgroupCreate + b.CgroupMigrate + b.Other
+}
+
+// Factory creates and repurposes sandboxes, tracking in-flight creations
+// for the concurrency-dependent cost terms.
+type Factory struct {
+	cm       CostModel
+	nextID   int
+	creating int // concurrent creations in flight
+	created  sim.Counter
+	reused   sim.Counter
+
+	// Overlays pools purged function-specific overlays for reuse.
+	Overlays OverlayPool
+	// Syscalls tallies mount-path syscalls (the §5.2.1 comparison).
+	Syscalls SyscallTally
+	// Cgroups is the node's cgroup-v2 hierarchy.
+	Cgroups *Hierarchy
+}
+
+// NewFactory returns a factory with the given cost model.
+func NewFactory(cm CostModel) *Factory {
+	return &Factory{cm: cm, Cgroups: NewHierarchy()}
+}
+
+// Created returns how many sandboxes were created from scratch.
+func (f *Factory) Created() int64 { return f.created.Value() }
+
+// Repurposed returns how many sandbox handoffs were served by reuse.
+func (f *Factory) Repurposed() int64 { return f.reused.Value() }
+
+// Create builds a sandbox from scratch for function fn, sleeping through
+// the full Table 1 cost. The concurrency surcharge reflects other
+// creations in flight at the same time.
+func (f *Factory) Create(p *sim.Proc, fn string) (*Sandbox, Breakdown) {
+	f.creating++
+	defer func() { f.creating-- }()
+	rng := p.Rand()
+	b := Breakdown{
+		NetNS:         scaled(f.cm.NetNSBase, f.cm.NetNSPerConcurrent, f.cm.NetNSMax, f.creating-1),
+		Rootfs:        scaled(f.cm.RootfsBase, f.cm.RootfsPerConcurrent, f.cm.RootfsMax, f.creating-1),
+		CgroupCreate:  uniform(rng, f.cm.CgroupCreateMin, f.cm.CgroupCreateMax),
+		CgroupMigrate: uniform(rng, f.cm.CgroupMigrateMin, f.cm.CgroupMigrateMax),
+		Other:         f.cm.OtherNS,
+	}
+	p.Sleep(b.Total())
+	f.nextID++
+	f.created.Inc()
+	// A cold rootfs build: every base mount, the device nodes, a
+	// pivot_root, and the function overlay on top.
+	ov := f.Overlays.Get(fn)
+	ov.Mounted = true
+	rootfs := &Rootfs{
+		Overlay: fn,
+		Mounts:  append(baseMounts(), Mount{Kind: MountFuncUnion, Path: "/srv/function", ReadOnly: false}),
+		Func:    ov,
+	}
+	f.Syscalls.Mounts += int64(len(rootfs.Mounts))
+	f.Syscalls.Mknods += 6
+	f.Syscalls.PivotRoots++
+	node, err := f.Cgroups.MkDir(nil, fmt.Sprintf("sb-%d", f.nextID), FunctionLimits(0))
+	if err != nil {
+		panic(err) // IDs are unique; MkDir cannot collide
+	}
+	node.AttachProc() // the cgroup-migration step the Breakdown charges
+	return &Sandbox{
+		ID:       f.nextID,
+		Net:      &NetNS{ID: f.nextID},
+		Rootfs:   rootfs,
+		Cgroup:   &Cgroup{ID: f.nextID, Function: fn, Node: node},
+		Function: fn,
+	}, b
+}
+
+// CreateWarm builds a cleaned, pool-ready sandbox without charging
+// simulated time — pre-provisioning that happened before the measured
+// window. The sandbox carries the full component set (netns, base
+// mounts, cgroup) but no function overlay or occupant.
+func (f *Factory) CreateWarm() *Sandbox {
+	f.nextID++
+	f.created.Inc()
+	node, err := f.Cgroups.MkDir(nil, fmt.Sprintf("sb-%d", f.nextID), FunctionLimits(0))
+	if err != nil {
+		panic(err)
+	}
+	return &Sandbox{
+		ID:     f.nextID,
+		Net:    &NetNS{ID: f.nextID},
+		Rootfs: &Rootfs{Mounts: baseMounts()},
+		Cgroup: &Cgroup{ID: f.nextID, Node: node},
+	}
+}
+
+// CreateNetNS builds a bare network namespace (for microVM baselines
+// whose other isolation lives in the hypervisor). It pays the same
+// concurrency-sensitive netns cost as a full sandbox creation.
+func (f *Factory) CreateNetNS(p *sim.Proc) (*NetNS, time.Duration) {
+	f.creating++
+	defer func() { f.creating-- }()
+	d := scaled(f.cm.NetNSBase, f.cm.NetNSPerConcurrent, f.cm.NetNSMax, f.creating-1)
+	p.Sleep(d)
+	f.nextID++
+	return &NetNS{ID: f.nextID}, d
+}
+
+// Clean terminates the previous occupant and cleanses the sandbox for
+// pooling (step B1 of Figure 6): processes killed, connections torn down,
+// upper-dir purge started asynchronously. It returns the (small) critical-
+// path cost, which the caller has already slept through.
+func (f *Factory) Clean(p *sim.Proc, sb *Sandbox) time.Duration {
+	d := f.cm.KillProcesses + f.cm.TeardownConns
+	p.Sleep(d)
+	sb.Net.Connections = 0
+	sb.Function = ""
+	if sb.Cgroup.Node != nil && sb.Cgroup.Node.Procs > 0 {
+		sb.Cgroup.Node.DetachProc() // occupant's process tree is gone
+	}
+	sb.Rootfs.DirtyUpper = true
+	if sb.Rootfs.Func != nil && !sb.Rootfs.Func.Dirty() {
+		// The occupant modified files; they live in the upper dir until
+		// the purge completes.
+		sb.Rootfs.Func.RecordWrite(4, 128<<10)
+	}
+	// Purge is asynchronous (§5.2.1); schedule completion off the
+	// critical path.
+	rootfs := sb.Rootfs
+	p.Engine().After(2*time.Millisecond, func() {
+		if rootfs.Func != nil {
+			rootfs.Func.Purge()
+		}
+		rootfs.DirtyUpper = false
+	})
+	return d
+}
+
+// Repurpose converts a cleaned sandbox to function fn (step B2): swap the
+// function-specific overlay (2 mounts) and apply cgroup limits via
+// CLONE_INTO_CGROUP at spawn. It returns the critical-path cost.
+func (f *Factory) Repurpose(p *sim.Proc, sb *Sandbox, fn string) (time.Duration, error) {
+	if sb.Function != "" {
+		return 0, fmt.Errorf("sandbox: repurposing %d while occupied by %q", sb.ID, sb.Function)
+	}
+	rng := p.Rand()
+	d := 2*f.cm.OverlayMount + uniform(rng, f.cm.CloneIntoCgroupMin, f.cm.CloneIntoCgroupMax)
+	if sb.Rootfs.DirtyUpper {
+		// Async purge has not finished; it completes synchronously now.
+		d += 2 * time.Millisecond
+		if sb.Rootfs.Func != nil {
+			sb.Rootfs.Func.Purge()
+		}
+		sb.Rootfs.DirtyUpper = false
+	}
+	p.Sleep(d)
+	// Swap the function-specific overlay: unmount the predecessor's
+	// (recycling it) and overmount fn's — the 2-syscall transition.
+	if old := sb.Rootfs.Func; old != nil {
+		old.Mounted = false
+		f.Overlays.Put(old)
+	}
+	ov := f.Overlays.Get(fn)
+	ov.Mounted = true
+	sb.Rootfs.Func = ov
+	if n := len(sb.Rootfs.Mounts); n > 0 && sb.Rootfs.Mounts[n-1].Kind == MountFuncUnion {
+		sb.Rootfs.Mounts[n-1] = Mount{Kind: MountFuncUnion, Path: "/srv/function"}
+	} else {
+		// Pre-warmed sandboxes carry only the base mounts until their
+		// first occupant.
+		sb.Rootfs.Mounts = append(sb.Rootfs.Mounts, Mount{Kind: MountFuncUnion, Path: "/srv/function"})
+	}
+	f.Syscalls.Unmounts++
+	f.Syscalls.Mounts += 2
+	sb.Rootfs.Overlay = fn
+	sb.Cgroup.Function = fn
+	if sb.Cgroup.Node != nil {
+		// Reconfigure the controllers in place and enter at spawn time
+		// (CLONE_INTO_CGROUP) — no migration synchronization.
+		if err := sb.Cgroup.Node.SetLimits(FunctionLimits(0)); err != nil {
+			return 0, err
+		}
+		sb.Cgroup.Node.AttachProc()
+	}
+	sb.Function = fn
+	sb.Generation++
+	f.reused.Inc()
+	return d, nil
+}
+
+// MigrateCgroup performs the legacy cgroup migration (create + move task),
+// used by baselines that lack CLONE_INTO_CGROUP. Returns the slept cost.
+func (f *Factory) MigrateCgroup(p *sim.Proc) time.Duration {
+	d := uniform(p.Rand(), f.cm.CgroupMigrateMin, f.cm.CgroupMigrateMax)
+	p.Sleep(d)
+	return d
+}
+
+// Pool is a LIFO pool of cleaned sandboxes (the universal, function-type-
+// agnostic pool at the heart of TrEnv's repurposing).
+type Pool struct {
+	idle []*Sandbox
+}
+
+// Get pops the most recently returned sandbox, or nil if empty.
+func (p *Pool) Get() *Sandbox {
+	if len(p.idle) == 0 {
+		return nil
+	}
+	sb := p.idle[len(p.idle)-1]
+	p.idle = p.idle[:len(p.idle)-1]
+	return sb
+}
+
+// Put returns a cleaned sandbox to the pool. Putting an occupied sandbox
+// is a bug.
+func (p *Pool) Put(sb *Sandbox) {
+	if sb.Function != "" {
+		panic(fmt.Sprintf("sandbox: pooling occupied sandbox %d (%s)", sb.ID, sb.Function))
+	}
+	p.idle = append(p.idle, sb)
+}
+
+// Len returns the number of pooled sandboxes.
+func (p *Pool) Len() int { return len(p.idle) }
+
+// NetNSPool recycles bare network namespaces; this is the enhancement the
+// paper grants the REAP+ and FaaSnap+ baselines so the comparison focuses
+// on memory restoration rather than network setup.
+type NetNSPool struct {
+	idle []*NetNS
+}
+
+// Get pops a namespace, or nil.
+func (p *NetNSPool) Get() *NetNS {
+	if len(p.idle) == 0 {
+		return nil
+	}
+	ns := p.idle[len(p.idle)-1]
+	p.idle = p.idle[:len(p.idle)-1]
+	return ns
+}
+
+// Put recycles a namespace after teardown.
+func (p *NetNSPool) Put(ns *NetNS) {
+	ns.Connections = 0
+	p.idle = append(p.idle, ns)
+}
+
+// Len returns the pooled count.
+func (p *NetNSPool) Len() int { return len(p.idle) }
+
+// Destroy tears a sandbox down entirely (non-recycled paths): the
+// occupant's process leaves the cgroup and the cgroup directory is
+// removed.
+func (f *Factory) Destroy(sb *Sandbox) error {
+	if sb.Cgroup.Node != nil {
+		if sb.Cgroup.Node.Procs > 0 {
+			sb.Cgroup.Node.DetachProc()
+		}
+		if err := f.Cgroups.RmDir(sb.Cgroup.Node); err != nil {
+			return err
+		}
+		sb.Cgroup.Node = nil
+	}
+	return nil
+}

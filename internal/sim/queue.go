@@ -1,0 +1,104 @@
+package sim
+
+// Queue is an unbounded FIFO channel between simulated processes:
+// senders never block, receivers Park until an item arrives. It is the
+// building block for dispatcher/worker structures (cluster schedulers,
+// uffd handler daemons).
+type Queue struct {
+	name    string
+	items   []any
+	waiters []*Proc
+	pushes  int64
+	pops    int64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue(name string) *Queue {
+	return &Queue{name: name}
+}
+
+// Len returns the queued item count.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Waiting returns the number of parked receivers.
+func (q *Queue) Waiting() int { return len(q.waiters) }
+
+// Push enqueues an item, waking one parked receiver if any. It may be
+// called from any simulated context (processes or After callbacks).
+func (q *Queue) Push(e *Engine, item any) {
+	q.items = append(q.items, item)
+	q.pushes++
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		e.Resume(w)
+	}
+}
+
+// Pop dequeues the oldest item, parking p until one is available.
+// Receivers are served FIFO.
+func (q *Queue) Pop(p *Proc) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.Park()
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	q.pops++
+	return item
+}
+
+// TryPop dequeues without blocking; ok is false when empty.
+func (q *Queue) TryPop() (item any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	q.pops++
+	return item, true
+}
+
+// Stats returns lifetime pushes and pops.
+func (q *Queue) Stats() (pushes, pops int64) { return q.pushes, q.pops }
+
+// WaitGroup lets a simulated process wait for a set of tasks to finish.
+type WaitGroup struct {
+	count   int
+	waiters []*Proc
+}
+
+// Add registers delta tasks (may be negative via Done only).
+func (wg *WaitGroup) Add(n int) {
+	if n < 0 {
+		panic("sim: WaitGroup.Add with negative delta; use Done")
+	}
+	wg.count += n
+}
+
+// Done marks one task complete, waking waiters at zero.
+func (wg *WaitGroup) Done(e *Engine) {
+	if wg.count == 0 {
+		panic("sim: WaitGroup.Done without Add")
+	}
+	wg.count--
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, w := range ws {
+			e.Resume(w)
+		}
+	}
+}
+
+// Wait parks p until the count reaches zero (returns immediately if it
+// already is).
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.Park()
+	}
+}
+
+// Count returns outstanding tasks.
+func (wg *WaitGroup) Count() int { return wg.count }

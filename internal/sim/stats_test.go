@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := h.Percentile(50); p != 50.5 {
+		t.Fatalf("p50 = %v", p)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Add(42)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Fatalf("p%v = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.CDF(10) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by [min, max].
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int32, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		prevP, prevV := 0.0, h.Percentile(0)
+		for i := 0; i < 20; i++ {
+			p := prevP + rng.Float64()*(100-prevP)
+			v := h.Percentile(p)
+			// Allow half-ulp wobble from linear interpolation.
+			tol := 1e-9 * (math.Abs(prevV) + 1)
+			if v < prevV-tol {
+				return false
+			}
+			if v < h.Min()-tol || v > h.Max()+tol {
+				return false
+			}
+			prevP, prevV = p, v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CDF fractions are non-decreasing, end at 1, values sorted.
+func TestHistogramCDFProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		cdf := h.CDF(16)
+		if cdf[len(cdf)-1].Fraction != 1 {
+			return false
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Fraction < cdf[i-1].Fraction || cdf[i].Value < cdf[i-1].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile(50) matches a direct median computation.
+func TestHistogramMedianMatchesSort(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+			h.Add(float64(v))
+		}
+		sort.Float64s(vals)
+		n := len(vals)
+		var want float64
+		if n%2 == 1 {
+			want = vals[n/2]
+		} else {
+			want = (vals[n/2-1] + vals[n/2]) / 2
+		}
+		return h.Percentile(50) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaugePeakAndMean(t *testing.T) {
+	var g Gauge
+	g.Set(0, 10)
+	g.Set(1*time.Second, 30)
+	g.Set(3*time.Second, 0)
+	if g.Peak() != 30 {
+		t.Fatalf("peak = %v", g.Peak())
+	}
+	// [0,1s)=10, [1s,3s)=30, [3s,4s)=0 over 4s => (10+60+0)/4 = 17.5
+	if got := g.TimeWeightedMean(0, 4*time.Second); got != 17.5 {
+		t.Fatalf("time-weighted mean = %v, want 17.5", got)
+	}
+	if got := g.Integral(0, 4*time.Second); got != 70 {
+		t.Fatalf("integral = %v, want 70", got)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(0, 5)
+	g.Add(time.Second, 5)
+	g.Add(2*time.Second, -3)
+	if g.Current() != 7 {
+		t.Fatalf("current = %v, want 7", g.Current())
+	}
+}
+
+func TestGaugeWindowBeforeFirstPoint(t *testing.T) {
+	var g Gauge
+	g.Set(10*time.Second, 100)
+	// Window entirely before the first point: value was 0.
+	if got := g.TimeWeightedMean(0, 5*time.Second); got != 0 {
+		t.Fatalf("mean = %v, want 0", got)
+	}
+	// Window straddling: [5s,15s) => 5s of 0, 5s of 100 => 50.
+	if got := g.TimeWeightedMean(5*time.Second, 15*time.Second); got != 50 {
+		t.Fatalf("mean = %v, want 50", got)
+	}
+}
+
+func TestGaugeBackwardsTimePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on backwards gauge time")
+		}
+	}()
+	var g Gauge
+	g.Set(time.Second, 1)
+	g.Set(0, 2)
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.IncBy(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestHistogramAddDuration(t *testing.T) {
+	var h Histogram
+	h.AddDuration(1500 * time.Microsecond)
+	if h.Max() != 1.5 {
+		t.Fatalf("duration recorded as %v ms, want 1.5", h.Max())
+	}
+}

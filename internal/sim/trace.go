@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TraceEntry is one observed scheduler event.
+type TraceEntry struct {
+	At   time.Duration
+	Kind string // "resume", "callback", "spawn"
+	Name string
+}
+
+// String renders the entry.
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("%12v %-8s %s", e.At, e.Kind, e.Name)
+}
+
+// TraceLog is a bounded ring of scheduler events, attached to an engine
+// with SetTracer to debug simulations (who ran when, in what order).
+type TraceLog struct {
+	entries []TraceEntry
+	max     int
+	dropped int64
+}
+
+// NewTraceLog keeps at most max entries (oldest dropped first).
+func NewTraceLog(max int) *TraceLog {
+	if max <= 0 {
+		max = 1024
+	}
+	return &TraceLog{max: max}
+}
+
+// Record appends an event.
+func (l *TraceLog) Record(at time.Duration, kind, name string) {
+	if len(l.entries) == l.max {
+		copy(l.entries, l.entries[1:])
+		l.entries = l.entries[:l.max-1]
+		l.dropped++
+	}
+	l.entries = append(l.entries, TraceEntry{At: at, Kind: kind, Name: name})
+}
+
+// Entries returns the retained events in order.
+func (l *TraceLog) Entries() []TraceEntry { return l.entries }
+
+// Dropped returns how many events aged out of the ring.
+func (l *TraceLog) Dropped() int64 { return l.dropped }
+
+// String renders the log.
+func (l *TraceLog) String() string {
+	var b strings.Builder
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", l.dropped)
+	}
+	for _, e := range l.entries {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SetTracer attaches an observer called for every scheduler event
+// (spawns, process resumes, callbacks). Pass nil to detach. Tracing does
+// not perturb virtual time.
+func (e *Engine) SetTracer(fn func(at time.Duration, kind, name string)) {
+	e.tracer = fn
+}
+
+// AttachTraceLog is a convenience wiring a TraceLog as the tracer.
+func (e *Engine) AttachTraceLog(max int) *TraceLog {
+	l := NewTraceLog(max)
+	e.SetTracer(l.Record)
+	return l
+}

@@ -1,0 +1,51 @@
+package snapshot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadImage hardens the image parser: arbitrary input must never
+// panic, and valid output must satisfy the snapshot invariants.
+func FuzzReadImage(f *testing.F) {
+	// Seed with a valid image and near-miss corruptions.
+	var buf bytes.Buffer
+	snap := testSnap("seed", 8, 2)
+	if err := WriteImage(&buf, snap); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"header":{"magic":"trenv-criu-image","version":1}}`)
+	f.Add(`{}`)
+	f.Add(``)
+	f.Add(`{"header":{"magic":"trenv-criu-image","version":1},"snapshot":{"Function":"f","Procs":[{"Name":"p","Threads":1}]}}`)
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		got, err := ReadImage(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Accepted images must hold the validated invariants.
+		if got.Function == "" || len(got.Procs) == 0 {
+			t.Fatalf("parser accepted invalid snapshot: %+v", got)
+		}
+		for _, p := range got.Procs {
+			if p.Threads < 1 {
+				t.Fatalf("accepted proc with %d threads", p.Threads)
+			}
+		}
+		// Round trip: re-encode and re-parse equals itself.
+		var out bytes.Buffer
+		if err := WriteImage(&out, got); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		again, err := ReadImage(&out)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if again.MemBytes() != got.MemBytes() || again.Threads() != got.Threads() {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package snapshot
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/mmtemplate"
+	"repro/internal/pagetable"
+)
+
+// randomSnapshot builds a structurally-valid snapshot from fuzz input.
+func randomSnapshot(name string, regionSizes []uint16) *Snapshot {
+	snap := &Snapshot{Function: name}
+	proc := ProcessImage{Name: "main", Threads: 4, FDs: 8}
+	for i, sz := range regionSizes {
+		pages := int(sz%512) + 1
+		prot := pagetable.Read
+		if i%2 == 0 {
+			prot |= pagetable.Write
+		}
+		proc.Regions = append(proc.Regions, Region{
+			Name:  fmt.Sprintf("r%d", i),
+			Bytes: int64(pages) * mem.PageSize,
+			Prot:  prot,
+			Kind:  pagetable.Anon,
+		})
+	}
+	snap.Procs = []ProcessImage{proc}
+	return snap
+}
+
+// Property: Preprocess + Attach conserves structure for arbitrary
+// snapshots — mapped bytes equal the snapshot's, every page is remote,
+// nothing local, and the pool holds exactly the image once no matter how
+// many attaches happen.
+func TestPreprocessAttachConservationProperty(t *testing.T) {
+	f := func(regionSizes []uint16, attaches8 uint8) bool {
+		if len(regionSizes) == 0 {
+			return true
+		}
+		if len(regionSizes) > 12 {
+			regionSizes = regionSizes[:12]
+		}
+		lat := mem.DefaultLatencyModel()
+		pool := mem.NewPool(mem.CXL, 0, lat)
+		st := NewStore(mem.NewBlockStore(pool), mmtemplate.NewRegistry())
+		snap := randomSnapshot("fn", regionSizes)
+		img, err := st.Preprocess(snap, Placement{Hot: pool, HotFraction: 1})
+		if err != nil {
+			return false
+		}
+		if pool.Tracker().Used() != snap.MemBytes() {
+			return false
+		}
+		attaches := int(attaches8%5) + 1
+		tracker := mem.NewTracker("node", 0)
+		var results []*Restored
+		for i := 0; i < attaches; i++ {
+			res, err := RestoreTemplate(img, tracker, lat, mmtemplate.DefaultCostModel(), DefaultCosts())
+			if err != nil {
+				return false
+			}
+			results = append(results, res)
+			var mapped int64
+			for _, as := range res.Spaces {
+				mapped += int64(as.TotalPages()) * mem.PageSize
+				if as.RSS() != 0 {
+					return false // attach must not allocate
+				}
+				if as.RemoteResidentBytes() != snap.MemBytes() {
+					return false
+				}
+			}
+			if mapped != snap.MemBytes() {
+				return false
+			}
+		}
+		// Pool unchanged by any number of attaches.
+		if pool.Tracker().Used() != snap.MemBytes() {
+			return false
+		}
+		// Touching everything in one instance leaves the others remote.
+		rng := rand.New(rand.NewSource(1))
+		for _, as := range results[0].Spaces {
+			for _, v := range as.VMAs() {
+				w := 0
+				if v.Prot&pagetable.Write != 0 {
+					w = v.Pages()
+				}
+				if _, err := as.Access(rng, v, v.Pages(), w); err != nil {
+					return false
+				}
+			}
+		}
+		if len(results) > 1 {
+			for _, as := range results[1].Spaces {
+				if as.RSS() != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

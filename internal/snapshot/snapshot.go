@@ -1,0 +1,324 @@
+// Package snapshot models CRIU-style checkpoint/restore and TrEnv's
+// preprocessing pipeline (§4, Figure 6): a function's post-initialization
+// state is captured as process images, deduplicated into consolidated
+// images on a memory pool, and turned into one mm-template per process.
+//
+// It also implements the restore engines the evaluation compares:
+//
+//   - FullCopy: vanilla CRIU — mmap storm plus a full memory-image copy.
+//   - Lazy: REAP-style — eagerly copy the recorded working set from a
+//     tmpfs snapshot, serve the rest on demand via userfaultfd.
+//   - Prefetch: FaaSnap-style — start with a minimal eager set and
+//     prefetch asynchronously, racing execution.
+//   - TemplateAttach: TrEnv — attach the mm-template (metadata only).
+package snapshot
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/mmtemplate"
+	"repro/internal/pagetable"
+)
+
+// Region is one memory region of a checkpointed process.
+type Region struct {
+	Name  string
+	Bytes int64
+	Prot  pagetable.Prot
+	Kind  pagetable.MapKind
+	// ContentKey names the region's content for deduplication. Regions
+	// with the same key (e.g. "lib/python3.10" across all Python
+	// functions) share one copy in the consolidated image. An empty key
+	// means the content is unique; a per-snapshot key is derived.
+	ContentKey string
+}
+
+// Pages returns the region's page count.
+func (r Region) Pages() int { return mem.PagesFor(r.Bytes) }
+
+// ProcessImage is the checkpointed state of one process.
+type ProcessImage struct {
+	Name    string
+	Threads int
+	FDs     int
+	Regions []Region
+}
+
+// MemBytes returns the process's checkpointed memory size.
+func (p *ProcessImage) MemBytes() int64 {
+	var n int64
+	for _, r := range p.Regions {
+		n += int64(r.Pages()) * mem.PageSize
+	}
+	return n
+}
+
+// Snapshot is a function's complete post-initialization state.
+type Snapshot struct {
+	Function string
+	// Owner identifies the tenant. With Store.PerUserDedup set, regions
+	// deduplicate only among snapshots of the same owner — the paper's
+	// mitigation for memory-deduplication side channels (§8.1.2).
+	Owner string
+	Procs []ProcessImage
+}
+
+// MemBytes returns the total checkpointed memory across processes.
+func (s *Snapshot) MemBytes() int64 {
+	var n int64
+	for i := range s.Procs {
+		n += s.Procs[i].MemBytes()
+	}
+	return n
+}
+
+// Threads returns the total thread count across processes.
+func (s *Snapshot) Threads() int {
+	var n int
+	for i := range s.Procs {
+		n += s.Procs[i].Threads
+	}
+	return n
+}
+
+// Placement decides where a preprocessed image's pages live. HotFraction
+// of each region's pages (a prefix — the hot head) goes to Hot; the rest
+// to Cold. With HotFraction == 1 everything lands on Hot, which is the
+// plain T-CXL / T-RDMA configuration.
+type Placement struct {
+	Hot         *mem.Pool
+	Cold        *mem.Pool
+	HotFraction float64
+}
+
+// Validate checks the placement is usable.
+func (p Placement) Validate() error {
+	if p.Hot == nil {
+		return fmt.Errorf("snapshot: placement has no hot pool")
+	}
+	if p.HotFraction < 0 || p.HotFraction > 1 {
+		return fmt.Errorf("snapshot: hot fraction %v out of range", p.HotFraction)
+	}
+	if p.HotFraction < 1 && p.Cold == nil {
+		return fmt.Errorf("snapshot: hot fraction %v needs a cold pool", p.HotFraction)
+	}
+	return nil
+}
+
+// Image is a preprocessed snapshot: consolidated blocks in pools plus one
+// mm-template per process (step A2 of Figure 6).
+type Image struct {
+	Snapshot  *Snapshot
+	Templates []*mmtemplate.Template
+	// MetadataBytes is the summed template metadata size.
+	MetadataBytes int64
+
+	store     *Store
+	blockKeys []string
+}
+
+// Store preprocesses snapshots into a block store + template registry.
+type Store struct {
+	blocks   *mem.BlockStore
+	cold     *mem.BlockStore // lazily created per cold pool
+	coldPool *mem.Pool
+	reg      *mmtemplate.Registry
+	images   map[string]*Image
+	versions map[string]int // per-function preprocess generation
+
+	// PerUserDedup restricts content deduplication to snapshots of the
+	// same owner, trading pool memory for side-channel resistance
+	// (FLUSH+RELOAD-style attacks need attacker/victim page sharing).
+	PerUserDedup bool
+}
+
+// NewStore creates a store placing consolidated images into blocks'
+// pool(s) and registering templates with reg.
+func NewStore(blocks *mem.BlockStore, reg *mmtemplate.Registry) *Store {
+	return &Store{blocks: blocks, reg: reg, images: make(map[string]*Image), versions: make(map[string]int)}
+}
+
+// Registry returns the template registry.
+func (st *Store) Registry() *mmtemplate.Registry { return st.reg }
+
+// Blocks returns the hot-tier block store.
+func (st *Store) Blocks() *mem.BlockStore { return st.blocks }
+
+// Image returns the preprocessed image for function, or nil.
+func (st *Store) Image(function string) *Image { return st.images[function] }
+
+// regionBase is the virtual address of the first region; regions are laid
+// out sequentially with a guard gap, like CRIU's recorded layouts.
+const (
+	regionBase = 0x0000_4000_0000
+	regionGap  = 1 << 20
+)
+
+func (st *Store) storeFor(pool *mem.Pool) *mem.BlockStore {
+	if pool == st.blocks.Pool() {
+		return st.blocks
+	}
+	if st.cold == nil || st.coldPool != pool {
+		st.cold = mem.NewBlockStore(pool)
+		st.coldPool = pool
+	}
+	return st.cold
+}
+
+// Preprocess deduplicates snap's regions into consolidated images on the
+// placement's pools and builds one mm-template per process. It is the
+// offline step (A1-A2); nothing here is on any invocation's critical
+// path. Preprocessing the same function twice is an error.
+func (st *Store) Preprocess(snap *Snapshot, place Placement) (*Image, error) {
+	if err := place.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := st.images[snap.Function]; ok {
+		return nil, fmt.Errorf("snapshot: function %q already preprocessed", snap.Function)
+	}
+	st.versions[snap.Function]++
+	version := st.versions[snap.Function]
+	img := &Image{Snapshot: snap, store: st}
+	cleanup := func() {
+		for _, k := range img.blockKeys {
+			st.blocks.Release(k)
+		}
+	}
+	va := uint64(regionBase)
+	for pi := range snap.Procs {
+		proc := &snap.Procs[pi]
+		tpl := st.reg.Create(fmt.Sprintf("%s/%s", snap.Function, proc.Name))
+		for _, r := range snap.Procs[pi].Regions {
+			pages := r.Pages()
+			if pages == 0 {
+				continue
+			}
+			key := r.ContentKey
+			if key == "" {
+				// Private content: unique per function *generation*, so a
+				// redeployed version never collides with a retired one.
+				key = fmt.Sprintf("%s@v%d/%s/%s", snap.Function, version, proc.Name, r.Name)
+			} else if st.PerUserDedup {
+				key = snap.Owner + "|" + key
+			}
+			length := int64(pages) * mem.PageSize
+			if err := tpl.AddMap(r.Name, va, length, r.Prot, r.Kind); err != nil {
+				cleanup()
+				return nil, err
+			}
+			hotPages := pages
+			if place.HotFraction < 1 {
+				hotPages = int(float64(pages) * place.HotFraction)
+			}
+			if hotPages > 0 {
+				b, _, err := st.storeFor(place.Hot).Put(key+"#hot", hotPages)
+				if err != nil {
+					cleanup()
+					return nil, err
+				}
+				img.blockKeys = append(img.blockKeys, key+"#hot")
+				if err := tpl.SetupPT(va, int64(hotPages)*mem.PageSize, b.Offset, place.Hot); err != nil {
+					cleanup()
+					return nil, err
+				}
+			}
+			if cold := pages - hotPages; cold > 0 {
+				b, _, err := st.storeFor(place.Cold).Put(key+"#cold", cold)
+				if err != nil {
+					cleanup()
+					return nil, err
+				}
+				if err := tpl.SetupPT(va+uint64(hotPages)*mem.PageSize, int64(cold)*mem.PageSize, b.Offset, place.Cold); err != nil {
+					cleanup()
+					return nil, err
+				}
+			}
+			va += uint64(length) + regionGap
+		}
+		img.Templates = append(img.Templates, tpl)
+		img.MetadataBytes += tpl.MetadataBytes()
+	}
+	st.images[snap.Function] = img
+	return img, nil
+}
+
+// Remove releases the consolidated blocks and templates of a function.
+func (st *Store) Remove(function string) error {
+	img, ok := st.images[function]
+	if !ok {
+		return fmt.Errorf("snapshot: no image for %q", function)
+	}
+	delete(st.images, function)
+	return st.ReleaseImage(img)
+}
+
+// ReleaseImage frees a (possibly retired) image's pool blocks and
+// destroys its templates. Instances already attached keep running: they
+// own copies of the metadata, and the CoW discipline means they never
+// depended on being able to write pool pages.
+func (st *Store) ReleaseImage(img *Image) error {
+	for _, k := range img.blockKeys {
+		if err := st.blocks.Release(k); err != nil {
+			return err
+		}
+	}
+	img.blockKeys = nil
+	for _, tpl := range img.Templates {
+		st.reg.Destroy(tpl.ID())
+	}
+	return nil
+}
+
+// Update replaces a function's preprocessed image with a new snapshot
+// (redeployment). The old image is returned *retired* — removed from the
+// index but with its pool blocks intact — so the platform can keep
+// serving in-flight instances and release it once they drain.
+func (st *Store) Update(snap *Snapshot, place Placement) (fresh, retired *Image, err error) {
+	old, ok := st.images[snap.Function]
+	if !ok {
+		return nil, nil, fmt.Errorf("snapshot: update of unknown function %q", snap.Function)
+	}
+	delete(st.images, snap.Function)
+	img, err := st.Preprocess(snap, place)
+	if err != nil {
+		st.images[snap.Function] = old // restore on failure
+		return nil, nil, err
+	}
+	return img, old, nil
+}
+
+// Costs prices the restore paths' fixed components.
+type Costs struct {
+	// CRIUOrchestration is forking criu, parsing image files, and
+	// process-tree setup for a full restore.
+	CRIUOrchestration time.Duration
+	// RepurposeOrchestration is TrEnv's lighter "repurpose" request that
+	// joins an existing sandbox instead of rebuilding one (§4, step B3).
+	RepurposeOrchestration time.Duration
+	// MmapPerRegion is the syscall cost to recreate one VMA.
+	MmapPerRegion time.Duration
+	// ThreadClone is the per-thread clone+register-restore cost.
+	ThreadClone time.Duration
+	// FDRestore is the per-descriptor reopen cost.
+	FDRestore time.Duration
+	// UffdSetup is registering userfaultfd ranges (REAP/FaaSnap).
+	UffdSetup time.Duration
+	// TmpfsBandwidth is the copy rate from tmpfs snapshot files during
+	// eager working-set restore.
+	TmpfsBandwidth float64 // bytes/s
+}
+
+// DefaultCosts returns restore constants matching the paper's breakdowns.
+func DefaultCosts() Costs {
+	return Costs{
+		CRIUOrchestration:      3 * time.Millisecond,
+		RepurposeOrchestration: 1200 * time.Microsecond,
+		MmapPerRegion:          4 * time.Microsecond,
+		ThreadClone:            60 * time.Microsecond,
+		FDRestore:              3 * time.Microsecond,
+		UffdSetup:              250 * time.Microsecond,
+		TmpfsBandwidth:         2 << 30, // 2 GiB/s
+	}
+}

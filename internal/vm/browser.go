@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// BrowserProcKind identifies one process of a Chromium-style browser
+// tree — the components §6.2 observes "can be reused or multiplexed
+// internally" when agents share a browser.
+type BrowserProcKind uint8
+
+// Browser process kinds.
+const (
+	BrowserMain BrowserProcKind = iota
+	BrowserNetwork
+	BrowserGPU
+	BrowserRenderer
+)
+
+// String names the kind.
+func (k BrowserProcKind) String() string {
+	switch k {
+	case BrowserMain:
+		return "main"
+	case BrowserNetwork:
+		return "network"
+	case BrowserGPU:
+		return "gpu"
+	case BrowserRenderer:
+		return "renderer"
+	}
+	return fmt.Sprintf("BrowserProcKind(%d)", uint8(k))
+}
+
+// BrowserProc is one process of the tree.
+type BrowserProc struct {
+	Kind     BrowserProcKind
+	MemBytes int64
+	// Owner is the agent whose tabs this renderer serves ("" for the
+	// shared utility processes).
+	Owner string
+}
+
+// BrowserInstance is one running browser: a fixed set of utility
+// processes (main, network service, GPU) shared by every tab, plus one
+// renderer per agent's tab set.
+type BrowserInstance struct {
+	ID      int
+	model   BrowserModel
+	utility []BrowserProc
+	// Ops, when non-nil, bounds concurrently-executing operations (the
+	// platform sets it to Parallelism slots for shared instances, so
+	// over-sharing queues agents inside the browser).
+	Ops       *sim.Resource
+	renderers map[string]*BrowserProc // agent -> renderer
+	tabs      map[string]int          // agent -> open tab count
+}
+
+// Utility-process split of the browser's base footprint.
+const (
+	mainShare    = 0.40
+	networkShare = 0.22
+	gpuShare     = 0.38
+)
+
+// NewBrowserInstance launches a browser process tree.
+func NewBrowserInstance(id int, bm BrowserModel) *BrowserInstance {
+	base := bm.BaseBytes
+	return &BrowserInstance{
+		ID:    id,
+		model: bm,
+		utility: []BrowserProc{
+			{Kind: BrowserMain, MemBytes: int64(float64(base) * mainShare)},
+			{Kind: BrowserNetwork, MemBytes: int64(float64(base) * networkShare)},
+			{Kind: BrowserGPU, MemBytes: base - int64(float64(base)*mainShare) - int64(float64(base)*networkShare)},
+		},
+		renderers: make(map[string]*BrowserProc),
+		tabs:      make(map[string]int),
+	}
+}
+
+// Agents returns how many agents currently hold tabs.
+func (b *BrowserInstance) Agents() int { return len(b.renderers) }
+
+// Tabs returns the total open tab count.
+func (b *BrowserInstance) Tabs() int {
+	n := 0
+	for _, c := range b.tabs {
+		n += c
+	}
+	return n
+}
+
+// OpenTabs gives an agent its tab set (one renderer process sized by the
+// tab count). It returns the instance's memory growth. Opening tabs for
+// an agent that already has some is an error — agents own one tab set
+// for their whole run.
+func (b *BrowserInstance) OpenTabs(agent string, tabs int) (int64, error) {
+	if tabs <= 0 {
+		return 0, fmt.Errorf("vm: agent %q opening %d tabs", agent, tabs)
+	}
+	if _, ok := b.renderers[agent]; ok {
+		return 0, fmt.Errorf("vm: agent %q already has tabs in browser %d", agent, b.ID)
+	}
+	if b.Agents() >= b.model.AgentsPerBrowser {
+		return 0, fmt.Errorf("vm: browser %d full (%d agents)", b.ID, b.Agents())
+	}
+	r := &BrowserProc{Kind: BrowserRenderer, Owner: agent, MemBytes: int64(tabs) * b.model.TabBytes}
+	b.renderers[agent] = r
+	b.tabs[agent] = tabs
+	return r.MemBytes, nil
+}
+
+// CloseTabs tears an agent's tab set down, returning the freed bytes.
+func (b *BrowserInstance) CloseTabs(agent string) (int64, error) {
+	r, ok := b.renderers[agent]
+	if !ok {
+		return 0, fmt.Errorf("vm: agent %q has no tabs in browser %d", agent, b.ID)
+	}
+	delete(b.renderers, agent)
+	delete(b.tabs, agent)
+	return r.MemBytes, nil
+}
+
+// MemBytes returns the whole tree's footprint.
+func (b *BrowserInstance) MemBytes() int64 {
+	var n int64
+	for _, p := range b.utility {
+		n += p.MemBytes
+	}
+	for _, r := range b.renderers {
+		n += r.MemBytes
+	}
+	return n
+}
+
+// Procs returns the process tree, utility processes first then renderers
+// in stable (agent-name) order.
+func (b *BrowserInstance) Procs() []BrowserProc {
+	out := make([]BrowserProc, len(b.utility))
+	copy(out, b.utility)
+	agents := make([]string, 0, len(b.renderers))
+	for a := range b.renderers {
+		agents = append(agents, a)
+	}
+	sort.Strings(agents)
+	for _, a := range agents {
+		out = append(out, *b.renderers[a])
+	}
+	return out
+}
+
+// HasSlot reports whether another agent fits.
+func (b *BrowserInstance) HasSlot() bool { return b.Agents() < b.model.AgentsPerBrowser }

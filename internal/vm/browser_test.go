@@ -1,0 +1,152 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBrowserInstanceProcessTree(t *testing.T) {
+	bm := DefaultBrowserModel()
+	b := NewBrowserInstance(1, bm)
+	procs := b.Procs()
+	if len(procs) != 3 {
+		t.Fatalf("utility procs = %d, want main/network/gpu", len(procs))
+	}
+	kinds := map[BrowserProcKind]bool{}
+	for _, pr := range procs {
+		kinds[pr.Kind] = true
+	}
+	if !kinds[BrowserMain] || !kinds[BrowserNetwork] || !kinds[BrowserGPU] {
+		t.Fatal("missing utility process kinds")
+	}
+	// Utility footprint equals the model's base bytes.
+	if got := b.MemBytes(); got != bm.BaseBytes {
+		t.Fatalf("base footprint = %d, want %d", got, bm.BaseBytes)
+	}
+}
+
+func TestBrowserTabsLifecycle(t *testing.T) {
+	bm := DefaultBrowserModel()
+	b := NewBrowserInstance(1, bm)
+	grown, err := b.OpenTabs("blog#1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown != 3*bm.TabBytes {
+		t.Fatalf("grown = %d", grown)
+	}
+	if b.Agents() != 1 || b.Tabs() != 3 {
+		t.Fatalf("agents=%d tabs=%d", b.Agents(), b.Tabs())
+	}
+	// One renderer per agent in the tree.
+	procs := b.Procs()
+	if procs[len(procs)-1].Kind != BrowserRenderer || procs[len(procs)-1].Owner != "blog#1" {
+		t.Fatal("renderer not in tree")
+	}
+	// Double-open rejected; zero tabs rejected.
+	if _, err := b.OpenTabs("blog#1", 1); err == nil {
+		t.Fatal("double OpenTabs accepted")
+	}
+	if _, err := b.OpenTabs("x", 0); err == nil {
+		t.Fatal("zero tabs accepted")
+	}
+	freed, err := b.CloseTabs("blog#1")
+	if err != nil || freed != grown {
+		t.Fatalf("close: %v, freed %d", err, freed)
+	}
+	if _, err := b.CloseTabs("blog#1"); err == nil {
+		t.Fatal("double close accepted")
+	}
+	if b.MemBytes() != bm.BaseBytes {
+		t.Fatal("memory not restored after close")
+	}
+}
+
+func TestBrowserCapacityEnforced(t *testing.T) {
+	bm := DefaultBrowserModel()
+	b := NewBrowserInstance(1, bm)
+	for i := 0; i < bm.AgentsPerBrowser; i++ {
+		if _, err := b.OpenTabs(string(rune('a'+i)), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.HasSlot() {
+		t.Fatal("full browser reports a slot")
+	}
+	if _, err := b.OpenTabs("overflow", 1); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}
+
+// Property: MemBytes always equals base + sum of open tab sets, across
+// arbitrary open/close sequences.
+func TestBrowserMemoryConservationProperty(t *testing.T) {
+	bm := DefaultBrowserModel()
+	f := func(ops []uint8) bool {
+		b := NewBrowserInstance(1, bm)
+		open := map[string]int64{}
+		for i, op := range ops {
+			agentName := string(rune('a' + int(op)%6))
+			if op%2 == 0 {
+				tabs := int(op%4) + 1
+				grown, err := b.OpenTabs(agentName, tabs)
+				if err == nil {
+					open[agentName] = grown
+				}
+			} else {
+				freed, err := b.CloseTabs(agentName)
+				if err == nil {
+					if freed != open[agentName] {
+						return false
+					}
+					delete(open, agentName)
+				}
+			}
+			var want int64 = bm.BaseBytes
+			for _, g := range open {
+				want += g
+			}
+			if b.MemBytes() != want {
+				return false
+			}
+			_ = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBrowserProcKindStrings(t *testing.T) {
+	for k, want := range map[BrowserProcKind]string{
+		BrowserMain: "main", BrowserNetwork: "network", BrowserGPU: "gpu", BrowserRenderer: "renderer",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v != %s", k, want)
+		}
+	}
+}
+
+// TestBrowserSlotContention: a shared browser's worker slots serialize
+// excess concurrent operations.
+func TestBrowserSlotContention(t *testing.T) {
+	run := func(fanIn int) float64 {
+		cfg := DefaultConfig(PolicyTrEnvS)
+		cfg.Cores = 64 // ample cores: isolate browser-internal queueing
+		cfg.Browser.AgentsPerBrowser = fanIn
+		cfg.Browser.Parallelism = 2
+		pl, _ := New(cfg)
+		a := mustAgent(t, "blog-summary")
+		for i := 0; i < 24; i++ {
+			pl.Launch(0, a)
+		}
+		pl.Run()
+		return pl.Metrics("blog-summary").E2E.Percentile(99)
+	}
+	narrow := run(4) // 6 browsers x 2 slots
+	wide := run(24)  // 1 browser x 2 slots for everyone
+	if wide <= narrow {
+		t.Fatalf("over-sharing did not queue agents: fan-in 24 p99 %.0fms <= fan-in 4 p99 %.0fms", wide, narrow)
+	}
+}

@@ -1,0 +1,78 @@
+package vm
+
+import (
+	"testing"
+)
+
+// TestEPTPrePopulationTradesStartupForExec exercises the §8.1.3
+// future-work optimization: eagerly filling the second-level page tables
+// costs a few startup milliseconds but removes the per-step EPT-fault VM
+// exits during execution.
+func TestEPTPrePopulationTradesStartupForExec(t *testing.T) {
+	run := func(prePopulate bool) (startupMs, e2eMs float64) {
+		cfg := DefaultConfig(PolicyTrEnv)
+		cfg.PrePopulateEPT = prePopulate
+		pl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.SeedSandboxPool(1)
+		pl.Launch(0, mustAgent(t, "map-reduce"))
+		pl.Run()
+		m := pl.Metrics("map-reduce")
+		return m.Startup.Max(), m.E2E.Max()
+	}
+	lazyStartup, lazyE2E := run(false)
+	eagerStartup, eagerE2E := run(true)
+	if eagerStartup <= lazyStartup {
+		t.Fatalf("pre-population should cost startup: %.1f vs %.1f ms", eagerStartup, lazyStartup)
+	}
+	if eagerE2E >= lazyE2E {
+		t.Fatalf("pre-population should save execution: %.1f vs %.1f ms", eagerE2E, lazyE2E)
+	}
+	// map-reduce has ~16 CPU/file steps at 1.5ms exit cost each: the
+	// execution saving should exceed the ~6ms startup cost.
+	if (lazyE2E-eagerE2E)+(lazyStartup-eagerStartup) <= 0 {
+		t.Fatal("pre-population not profitable end to end for a multi-step agent")
+	}
+}
+
+// TestVanillaCHHasNoEPTFaults: full-copy restores map everything, so
+// they never pay the per-step exits (their cost is the 700ms+ copy).
+func TestVanillaCHHasNoEPTFaults(t *testing.T) {
+	pl, _ := New(DefaultConfig(PolicyVanillaCH))
+	if pl.vmExitOverhead() != 0 {
+		t.Fatal("vanilla CH should not take EPT faults")
+	}
+	pl2, _ := New(DefaultConfig(PolicyE2B))
+	if pl2.vmExitOverhead() == 0 {
+		t.Fatal("lazily-restored E2B should take EPT faults")
+	}
+	cfg := DefaultConfig(PolicyE2B)
+	cfg.PrePopulateEPT = true // only TrEnv controls the EPT contents
+	pl3, _ := New(cfg)
+	if pl3.vmExitOverhead() == 0 {
+		t.Fatal("pre-population must not apply to E2B")
+	}
+}
+
+// TestPrePopulateKeepsStartupOrdering: even with the extra startup cost
+// TrEnv stays well below E2B.
+func TestPrePopulateKeepsStartupOrdering(t *testing.T) {
+	cfg := DefaultConfig(PolicyTrEnv)
+	cfg.PrePopulateEPT = true
+	pl, _ := New(cfg)
+	pl.SeedSandboxPool(1)
+	a := mustAgent(t, "blackjack")
+	pl.Launch(0, a)
+	pl.Run()
+	trenv := pl.Metrics("blackjack").Startup.Max()
+
+	plE, _ := New(DefaultConfig(PolicyE2B))
+	plE.Launch(0, a)
+	plE.Run()
+	e2b := plE.Metrics("blackjack").Startup.Max()
+	if trenv >= e2b {
+		t.Fatalf("trenv+EPT startup %.1fms >= e2b %.1fms", trenv, e2b)
+	}
+}

@@ -1,0 +1,63 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+)
+
+// TestSoakMixedAgentFleet runs a mixed fleet of all six agents under
+// every policy and checks conservation: memory returns to the shared
+// caches only, browsers empty out, every run completes. Skipped with
+// -short.
+func TestSoakMixedAgentFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	for _, pol := range []Policy{PolicyE2B, PolicyE2BPlus, PolicyTrEnv, PolicyTrEnvS} {
+		pol := pol
+		t.Run(string(pol), func(t *testing.T) {
+			pl, err := New(DefaultConfig(pol))
+			if err != nil {
+				t.Fatal(err)
+			}
+			launched := 0
+			for round := 0; round < 4; round++ {
+				for ai, a := range agent.Table2() {
+					at := time.Duration(round*30+ai)*time.Second + time.Duration(ai)*75*time.Millisecond
+					pl.Launch(at, a)
+					launched++
+				}
+			}
+			pl.Run()
+			if got := int(pl.Runs()); got != launched {
+				t.Fatalf("runs = %d, want %d", got, launched)
+			}
+			// After the fleet drains, residual memory is only the shared
+			// host caches (persistent by design) and pooled shared
+			// browsers; per-VM state is gone.
+			var shared int64
+			for _, bytes := range pl.sharedFileBytes {
+				shared += bytes
+			}
+			var browsers int64
+			for _, b := range pl.browsers {
+				if b.Agents() != 0 {
+					t.Fatalf("browser %d still hosts %d agents", b.ID, b.Agents())
+				}
+				browsers += b.MemBytes()
+			}
+			if got := pl.node.Used(); got != shared+browsers {
+				t.Fatalf("residual memory %d != shared caches %d + pooled browsers %d", got, shared, browsers)
+			}
+			// Latency sanity.
+			for _, name := range pl.AgentNames() {
+				m := pl.Metrics(name)
+				if m.E2E.Percentile(50) > m.E2E.Percentile(99) {
+					t.Fatalf("%s: percentiles inverted", name)
+				}
+			}
+		})
+	}
+}

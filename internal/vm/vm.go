@@ -1,0 +1,157 @@
+// Package vm models the VM-based agent execution platform of §6 and its
+// evaluation (§9.6): Cloud-Hypervisor-style microVMs hosting LLM agents,
+// with the storage/page-cache architectures and startup paths of the
+// compared systems:
+//
+//	e2b       Firecracker-style code-interpreter platform: fresh netns
+//	          (97 ms) + cgroup migration (63 ms) per start, virtio-blk
+//	          storage that caches file data in BOTH guest and host.
+//	e2b+      E2B with RunD's rootfs mapping: guest page cache bypassed
+//	          (host copy only, shared across VMs), slightly costlier
+//	          setup, incompatible with CoW memory sharing.
+//	ch        vanilla Cloud Hypervisor restore: full guest-memory copy
+//	          (>700 ms).
+//	trenv     repurposable sandbox + mm-template restore of guest
+//	          memory + virtio-pmem union storage: read-only base device
+//	          shared by all VMs (one host cache copy, no guest copy),
+//	          writable O_DIRECT overlay (no host copy).
+//	trenv-s   trenv plus browser sharing (§6.2): up to K agents share
+//	          one browser instance, each in its own tabs.
+package vm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy selects the agent platform variant.
+type Policy string
+
+// Policies under evaluation.
+const (
+	PolicyE2B       Policy = "e2b"
+	PolicyE2BPlus   Policy = "e2b+"
+	PolicyVanillaCH Policy = "ch"
+	PolicyTrEnv     Policy = "trenv"
+	PolicyTrEnvS    Policy = "trenv-s"
+)
+
+// SharesBrowser reports whether the policy multiplexes browsers.
+func (p Policy) SharesBrowser() bool { return p == PolicyTrEnvS }
+
+// IsTrEnv reports whether the policy uses repurposable sandboxes and
+// mm-templates.
+func (p Policy) IsTrEnv() bool { return p == PolicyTrEnv || p == PolicyTrEnvS }
+
+// StartCosts prices the VM startup paths (§9.6.1, Figure 23).
+type StartCosts struct {
+	// E2BNetNS is E2B's per-start network environment setup (97 ms
+	// measured), inflating under concurrent starts like any netns work.
+	E2BNetNS          time.Duration
+	E2BNetNSPerConc   time.Duration
+	E2BCgroupMigrate  time.Duration // 63 ms measured
+	E2BResume         time.Duration // Firecracker snapshot load
+	E2BLazyRestore    time.Duration // uffd-backed memory restore setup
+	E2BPlusRootfsMap  time.Duration // RunD mapping setup on top of E2B
+	CHDeviceRestore   time.Duration // Cloud Hypervisor device-state restore
+	CHFullCopyPerByte float64       // seconds per byte for vanilla CH memory copy
+	CHImageBytes      int64         // guest memory image a vanilla restore copies
+	TrEnvRepurpose    time.Duration // sandbox pool hand-off
+	TrEnvAttach       time.Duration // mm-template attach for the guest
+	TrEnvUnionMount   time.Duration // pmem base + writable overlay mounts
+	SandboxCreate     time.Duration // building a VM jailer sandbox from scratch
+
+	// EPTPrePopulate is the extra startup cost of eagerly filling the
+	// second-level page tables for hot regions (§8.1.3's future-work
+	// optimization); VMExitPerStep is the per-step cost of the EPT
+	// faults lazily-restored guests take instead.
+	EPTPrePopulate time.Duration
+	VMExitPerStep  time.Duration
+}
+
+// DefaultStartCosts mirrors the measured components in §9.6.1.
+func DefaultStartCosts() StartCosts {
+	return StartCosts{
+		E2BNetNS:          97 * time.Millisecond,
+		E2BNetNSPerConc:   20 * time.Millisecond,
+		E2BCgroupMigrate:  63 * time.Millisecond,
+		E2BResume:         12 * time.Millisecond,
+		E2BLazyRestore:    20 * time.Millisecond,
+		E2BPlusRootfsMap:  15 * time.Millisecond,
+		CHDeviceRestore:   100 * time.Millisecond,
+		CHFullCopyPerByte: 1.0 / (1 << 30), // 1 GiB/s
+		CHImageBytes:      760 << 20,       // >700 ms at 1 GiB/s
+		TrEnvRepurpose:    1500 * time.Microsecond,
+		TrEnvAttach:       8 * time.Millisecond,
+		TrEnvUnionMount:   3 * time.Millisecond,
+		SandboxCreate:     170 * time.Millisecond,
+		EPTPrePopulate:    6 * time.Millisecond,
+		VMExitPerStep:     1500 * time.Microsecond,
+	}
+}
+
+// MemModel prices per-VM memory composition by policy.
+type MemModel struct {
+	// VMOverhead is hypervisor + guest kernel per VM.
+	VMOverhead int64
+	// TrEnvWrittenBaseFrac is the CoW-written share of the agent's base
+	// process memory under mm-template (the rest stays on the pool).
+	TrEnvWrittenBaseFrac float64
+	// TrEnvResidualCacheFrac is the per-VM share of file data that still
+	// lands in local memory under the pmem union scheme (writable-layer
+	// reads opened O_DIRECT leave buffers in the process).
+	TrEnvResidualCacheFrac float64
+}
+
+// DefaultMemModel returns the §9.6.3 memory constants.
+func DefaultMemModel() MemModel {
+	return MemModel{
+		VMOverhead:             80 << 20,
+		TrEnvWrittenBaseFrac:   0.3,
+		TrEnvResidualCacheFrac: 0.12,
+	}
+}
+
+// BrowserModel describes the browser process tree (§6.2).
+type BrowserModel struct {
+	// BaseBytes is the main + network-stack + renderer baseline.
+	BaseBytes int64
+	// TabBytes is the incremental cost of one agent's tab set.
+	TabBytes int64
+	// AgentsPerBrowser is the sharing fan-in (the paper uses ~10).
+	AgentsPerBrowser int
+	// DedicatedCPUOverhead is the extra CPU fraction each browser
+	// operation costs when every agent runs its own browser (duplicated
+	// compositing, networking, and cache-cold rendering) — the waste
+	// that sharing amortizes away.
+	DedicatedCPUOverhead float64
+	// DedicatedLaunchCPU is the one-time CPU burned launching a private
+	// browser process tree; shared browsers are already up.
+	DedicatedLaunchCPU time.Duration
+	// Parallelism is how many operations one browser instance can run
+	// concurrently (renderer processes work in parallel; the main
+	// process serializes only coordination). Sharing more agents than
+	// the instance can serve queues them — the reason the paper stops
+	// at ~10 agents per browser.
+	Parallelism int
+}
+
+// DefaultBrowserModel returns a Chromium-like cost shape.
+func DefaultBrowserModel() BrowserModel {
+	return BrowserModel{
+		BaseBytes:            550 << 20,
+		TabBytes:             60 << 20,
+		AgentsPerBrowser:     10,
+		DedicatedCPUOverhead: 1.0,
+		DedicatedLaunchCPU:   1500 * time.Millisecond,
+		Parallelism:          4,
+	}
+}
+
+func (p Policy) validate() error {
+	switch p {
+	case PolicyE2B, PolicyE2BPlus, PolicyVanillaCH, PolicyTrEnv, PolicyTrEnvS:
+		return nil
+	}
+	return fmt.Errorf("vm: unknown policy %q", p)
+}

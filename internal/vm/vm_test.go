@@ -1,0 +1,250 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+)
+
+func mustAgent(t *testing.T, name string) agent.Profile {
+	t.Helper()
+	a, err := agent.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewRejectsUnknownPolicy(t *testing.T) {
+	if _, err := New(Config{Policy: "bogus"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestFig23StartupOrdering(t *testing.T) {
+	// Steady-state startup per policy for the Blackjack agent.
+	steady := func(policy Policy) time.Duration {
+		pl, _ := New(DefaultConfig(policy))
+		a := mustAgent(t, "blackjack")
+		gap := a.TotalE2E() + time.Second
+		for i := 0; i < 3; i++ {
+			pl.Launch(time.Duration(i)*gap, a)
+		}
+		pl.Run()
+		// Last run: pools warm.
+		return time.Duration(pl.Metrics("blackjack").Startup.Min() * float64(time.Millisecond))
+	}
+	trenv := steady(PolicyTrEnv)
+	e2b := steady(PolicyE2B)
+	e2bp := steady(PolicyE2BPlus)
+	ch := steady(PolicyVanillaCH)
+	if !(trenv < e2b && e2b < e2bp && e2bp < ch) {
+		t.Fatalf("startup ordering broken: trenv=%v e2b=%v e2b+=%v ch=%v", trenv, e2b, e2bp, ch)
+	}
+	// Paper: ~40% reduction vs E2B, ~45% vs E2B+; CH > 700ms.
+	if r := float64(trenv) / float64(e2b); r < 0.4 || r > 0.8 {
+		t.Errorf("trenv/e2b startup ratio %.2f, want ~0.6", r)
+	}
+	if ch < 700*time.Millisecond {
+		t.Errorf("vanilla CH startup %v, want > 700ms", ch)
+	}
+}
+
+func TestFig23ConcurrencyHurtsE2BMore(t *testing.T) {
+	concurrent := func(policy Policy) float64 {
+		pl, _ := New(DefaultConfig(policy))
+		a := mustAgent(t, "blackjack")
+		// Warm the sandbox pool with one sequential run.
+		pl.Launch(0, a)
+		start := a.TotalE2E() + time.Second
+		for i := 0; i < 10; i++ {
+			pl.Launch(start, a)
+		}
+		pl.Run()
+		return pl.Metrics("blackjack").Startup.Max()
+	}
+	e2b := concurrent(PolicyE2B)
+	trenv := concurrent(PolicyTrEnv)
+	if trenv >= e2b {
+		t.Fatalf("10-way concurrent startup: trenv %.1fms >= e2b %.1fms", trenv, e2b)
+	}
+}
+
+func TestFig24BrowserSharingHelpsUnderOvercommit(t *testing.T) {
+	p99 := func(policy Policy, name string) float64 {
+		pl, _ := New(DefaultConfig(policy)) // 20 cores
+		a := mustAgent(t, name)
+		for i := 0; i < 60; i++ { // 60 instances on 20 cores (scaled down from 200)
+			pl.Launch(time.Duration(i)*50*time.Millisecond, a)
+		}
+		pl.Run()
+		return pl.Metrics(name).E2E.Percentile(99)
+	}
+	blogShared := p99(PolicyTrEnvS, "blog-summary")
+	blogOwn := p99(PolicyTrEnv, "blog-summary")
+	if blogShared >= blogOwn {
+		t.Fatalf("browser sharing did not help blog-summary: %.0f vs %.0f ms", blogShared, blogOwn)
+	}
+	blogGain := 1 - blogShared/blogOwn
+	gameShared := p99(PolicyTrEnvS, "game-design")
+	gameOwn := p99(PolicyTrEnv, "game-design")
+	gameGain := 1 - gameShared/gameOwn
+	// Paper: gains 2%-58%, largest for browser-heavy blog-summary,
+	// minimal for game-design.
+	if blogGain <= gameGain {
+		t.Fatalf("blog-summary gain (%.2f) should exceed game-design's (%.2f)", blogGain, gameGain)
+	}
+	if blogGain < 0.10 {
+		t.Fatalf("blog-summary P99 gain %.2f, want substantial", blogGain)
+	}
+}
+
+func TestFig25PeakMemoryOrdering(t *testing.T) {
+	peak := func(policy Policy, name string, n int) int64 {
+		pl, _ := New(DefaultConfig(policy))
+		a := mustAgent(t, name)
+		for i := 0; i < n; i++ {
+			pl.Launch(time.Duration(i)*200*time.Millisecond, a)
+		}
+		pl.Run()
+		return pl.PeakMemory()
+	}
+	for _, name := range []string{"blog-summary", "shop-assistant"} {
+		e2b := peak(PolicyE2B, name, 20)
+		e2bp := peak(PolicyE2BPlus, name, 20)
+		trenv := peak(PolicyTrEnvS, name, 20)
+		if !(trenv < e2bp && e2bp < e2b) {
+			t.Fatalf("%s: memory ordering broken: trenv=%dMB e2b+=%dMB e2b=%dMB",
+				name, trenv>>20, e2bp>>20, e2b>>20)
+		}
+		// Paper: up to 61% savings vs E2B, up to 48% vs E2B+.
+		if save := 1 - float64(trenv)/float64(e2b); save < 0.3 {
+			t.Errorf("%s: savings vs E2B only %.2f", name, save)
+		}
+	}
+	// Lightweight agents see limited savings (little file I/O).
+	e2b := peak(PolicyE2B, "blackjack", 20)
+	trenv := peak(PolicyTrEnvS, "blackjack", 20)
+	if save := 1 - float64(trenv)/float64(e2b); save > 0.5 {
+		t.Errorf("blackjack savings %.2f suspiciously high (paper: ~10%% for minimal-I/O agents)", save)
+	}
+}
+
+func TestSharedBrowserPacking(t *testing.T) {
+	pl, _ := New(DefaultConfig(PolicyTrEnvS))
+	a := mustAgent(t, "shop-assistant")
+	for i := 0; i < 25; i++ {
+		pl.Launch(0, a)
+	}
+	pl.Run()
+	// 25 concurrent agents, 10 per browser => 3 browser instances.
+	if got := len(pl.browsers); got != 3 {
+		t.Fatalf("browser hosts = %d, want 3", got)
+	}
+	for _, b := range pl.browsers {
+		if b.Agents() != 0 || b.Tabs() != 0 {
+			t.Fatalf("browser still has %d agents / %d tabs after completion", b.Agents(), b.Tabs())
+		}
+	}
+}
+
+func TestLLMServerTallies(t *testing.T) {
+	pl, _ := New(DefaultConfig(PolicyTrEnv))
+	a := mustAgent(t, "map-reduce")
+	pl.Launch(0, a)
+	pl.Run()
+	in, out := pl.LLM().Tokens()
+	wantIn, wantOut := a.Tokens()
+	if in != int64(wantIn) || out != int64(wantOut) {
+		t.Fatalf("llm tokens %d/%d, want %d/%d", in, out, wantIn, wantOut)
+	}
+	if pl.LLM().Cost(agent.DefaultPricing()) <= 0 {
+		t.Fatal("llm cost not positive")
+	}
+}
+
+func TestE2EMatchesProfileWithoutContention(t *testing.T) {
+	pl, _ := New(DefaultConfig(PolicyTrEnv))
+	a := mustAgent(t, "bug-fixer")
+	pl.Launch(0, a)
+	pl.Run()
+	m := pl.Metrics("bug-fixer")
+	e2eMs := m.E2E.Max()
+	wantMs := float64(a.TotalE2E()) / float64(time.Millisecond)
+	// E2E = startup + profile time; single instance has no contention.
+	if e2eMs < wantMs || e2eMs > wantMs+1000 {
+		t.Fatalf("e2e %.0fms, want ~%.0fms + startup", e2eMs, wantMs)
+	}
+}
+
+func TestMemoryGaugeTracksTimeline(t *testing.T) {
+	pl, _ := New(DefaultConfig(PolicyE2B))
+	a := mustAgent(t, "blog-summary")
+	pl.Launch(0, a)
+	pl.Run()
+	g := pl.MemoryGauge()
+	if g.Peak() == 0 {
+		t.Fatal("gauge empty")
+	}
+	// Memory must return to zero after teardown (E2B frees everything).
+	if g.Current() != 0 {
+		t.Fatalf("memory after teardown = %.0f", g.Current())
+	}
+	if pl.PeakMemory() < a.BaseMemBytes {
+		t.Fatal("peak below base footprint")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (float64, int64) {
+		pl, _ := New(DefaultConfig(PolicyTrEnvS))
+		a := mustAgent(t, "blog-summary")
+		for i := 0; i < 10; i++ {
+			pl.Launch(time.Duration(i)*100*time.Millisecond, a)
+		}
+		pl.Run()
+		return pl.Metrics("blog-summary").E2E.Percentile(99), pl.PeakMemory()
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("non-deterministic: %v/%v vs %v/%v", a1, b1, a2, b2)
+	}
+}
+
+func TestGrowSharedHighWater(t *testing.T) {
+	pl, _ := New(DefaultConfig(PolicyE2BPlus))
+	if got := pl.growShared("a", 0, 100); got != 100 {
+		t.Fatalf("first read cached %d", got)
+	}
+	if got := pl.growShared("a", 0, 100); got != 0 {
+		t.Fatalf("repeat read cached %d", got)
+	}
+	if got := pl.growShared("a", 50, 100); got != 50 {
+		t.Fatalf("overlapping read cached %d, want 50", got)
+	}
+	if got := pl.growShared("b", 0, 10); got != 10 {
+		t.Fatalf("other agent type cached %d", got)
+	}
+}
+
+func TestPlatformSummaryAndCounters(t *testing.T) {
+	pl, _ := New(DefaultConfig(PolicyTrEnvS))
+	a := mustAgent(t, "blackjack")
+	gap := a.TotalE2E() + time.Second
+	pl.Launch(0, a)
+	pl.Launch(gap, a)
+	pl.Run()
+	if pl.Runs() != 2 {
+		t.Fatalf("runs = %d", pl.Runs())
+	}
+	if pl.Built() != 1 || pl.Repurposed() != 1 {
+		t.Fatalf("built=%d repurposed=%d", pl.Built(), pl.Repurposed())
+	}
+	s := pl.Summary()
+	if !strings.Contains(s, "blackjack") || !strings.Contains(s, "repurposed=1") {
+		t.Fatalf("summary:\n%s", s)
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// AzureCSVOptions controls ingestion of the Azure Functions trace format
+// (the dataset behind the paper's Azure workload): one row per function,
+// columns HashOwner, HashApp, HashFunction, Trigger, then per-minute
+// invocation counts ("1", "2", ... "1440").
+type AzureCSVOptions struct {
+	// Functions are the simulated functions to map trace rows onto; the
+	// busiest rows are assigned in order. Required.
+	Functions []string
+	// MaxMinutes caps the trace length (0 = every minute column).
+	MaxMinutes int
+}
+
+type azureRow struct {
+	id     string
+	counts []int
+	total  int
+}
+
+// ParseAzureCSV converts an Azure-format trace into a Trace: the top
+// len(opts.Functions) rows by volume are mapped onto the given function
+// names, and each minute's count is spread uniformly within the minute
+// (the paper's §9.3 methodology: "randomly distributed those within each
+// minute").
+func ParseAzureCSV(r io.Reader, rng *rand.Rand, opts AzureCSVOptions) (Trace, error) {
+	if len(opts.Functions) == 0 {
+		return nil, fmt.Errorf("workload: azure csv needs target functions")
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: azure csv header: %w", err)
+	}
+	firstMinute := -1
+	for i, col := range header {
+		if _, err := strconv.Atoi(col); err == nil {
+			firstMinute = i
+			break
+		}
+	}
+	if firstMinute < 0 {
+		return nil, fmt.Errorf("workload: azure csv has no per-minute columns")
+	}
+	var rows []azureRow
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: azure csv line %d: %w", line, err)
+		}
+		if len(rec) <= firstMinute {
+			return nil, fmt.Errorf("workload: azure csv line %d: %d fields, want > %d", line, len(rec), firstMinute)
+		}
+		id := fmt.Sprintf("row-%d", line)
+		switch {
+		case firstMinute >= 3:
+			id = rec[2] // HashFunction column
+		case firstMinute >= 1:
+			id = rec[firstMinute-1]
+		}
+		row := azureRow{id: id}
+		for _, cell := range rec[firstMinute:] {
+			n, err := strconv.Atoi(cell)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("workload: azure csv line %d: bad count %q", line, cell)
+			}
+			row.counts = append(row.counts, n)
+			row.total += n
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: azure csv has no data rows")
+	}
+	// Busiest rows first, deterministic tie-break by id.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].id < rows[j].id
+	})
+	if len(rows) > len(opts.Functions) {
+		rows = rows[:len(opts.Functions)]
+	}
+	var t Trace
+	for ri, row := range rows {
+		fn := opts.Functions[ri]
+		minutes := len(row.counts)
+		if opts.MaxMinutes > 0 && minutes > opts.MaxMinutes {
+			minutes = opts.MaxMinutes
+		}
+		for m := 0; m < minutes; m++ {
+			base := time.Duration(m) * time.Minute
+			for i := 0; i < row.counts[m]; i++ {
+				t = append(t, Invocation{
+					At:       base + time.Duration(rng.Int63n(int64(time.Minute))),
+					Function: fn,
+				})
+			}
+		}
+	}
+	t.sortByTime()
+	return t, nil
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleCSV = `HashOwner,HashApp,HashFunction,Trigger,1,2,3
+o1,a1,busy,http,10,0,5
+o1,a1,medium,timer,2,3,1
+o2,a2,quiet,queue,0,1,0
+`
+
+func TestParseAzureCSVBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := ParseAzureCSV(strings.NewReader(sampleCSV), rng, AzureCSVOptions{
+		Functions: []string{"JS", "DH"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.CountByFunction()
+	// busy (15) -> JS, medium (6) -> DH; quiet dropped (only 2 targets).
+	if counts["JS"] != 15 || counts["DH"] != 6 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("functions mapped = %d", len(counts))
+	}
+	// Ordering and per-minute placement.
+	for i := 1; i < tr.Len(); i++ {
+		if tr[i].At < tr[i-1].At {
+			t.Fatal("trace unordered")
+		}
+	}
+	if tr.Duration() >= 3*time.Minute {
+		t.Fatalf("duration = %v, want < 3min", tr.Duration())
+	}
+	// Minute 2 of "busy" has zero invocations: no JS arrivals in [1m,2m).
+	for _, inv := range tr {
+		if inv.Function == "JS" && inv.At >= time.Minute && inv.At < 2*time.Minute {
+			t.Fatalf("JS invocation at %v, but minute 2 is zero in the CSV", inv.At)
+		}
+	}
+}
+
+func TestParseAzureCSVMaxMinutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := ParseAzureCSV(strings.NewReader(sampleCSV), rng, AzureCSVOptions{
+		Functions:  []string{"JS"},
+		MaxMinutes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CountByFunction()["JS"] != 10 {
+		t.Fatalf("counts = %v, want first minute only", tr.CountByFunction())
+	}
+}
+
+func TestParseAzureCSVErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := map[string]string{
+		"no functions":   sampleCSV,
+		"no minute cols": "HashOwner,HashApp,HashFunction,Trigger\no,a,f,http\n",
+		"bad count":      "HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,xyz\n",
+		"negative count": "HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,-3\n",
+		"no rows":        "HashOwner,HashApp,HashFunction,Trigger,1\n",
+	}
+	for name, csvText := range cases {
+		opts := AzureCSVOptions{Functions: []string{"JS"}}
+		if name == "no functions" {
+			opts.Functions = nil
+		}
+		if _, err := ParseAzureCSV(strings.NewReader(csvText), rng, opts); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestParseAzureCSVDeterministicMapping(t *testing.T) {
+	// Equal-volume rows tie-break by id so mapping is stable.
+	csvText := "HashOwner,HashApp,HashFunction,Trigger,1\no,a,zeta,http,5\no,a,alpha,http,5\n"
+	tr, err := ParseAzureCSV(strings.NewReader(csvText), rand.New(rand.NewSource(1)), AzureCSVOptions{
+		Functions: []string{"first", "second"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.CountByFunction()
+	if counts["first"] != 5 || counts["second"] != 5 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

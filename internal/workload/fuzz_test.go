@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseAzureCSV hardens the trace ingester: arbitrary CSV must never
+// panic, and accepted traces must be well-formed.
+func FuzzParseAzureCSV(f *testing.F) {
+	f.Add(sampleCSV)
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http,5\n")
+	f.Add("")
+	f.Add("a,b\n1,2\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1,2,3\no,a,f,http,1,-2,3\n")
+	f.Add("HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,http\n")
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		rng := rand.New(rand.NewSource(1))
+		tr, err := ParseAzureCSV(strings.NewReader(raw), rng, AzureCSVOptions{
+			Functions:  []string{"JS", "DH"},
+			MaxMinutes: 60,
+		})
+		if err != nil {
+			return
+		}
+		// Accepted traces are ordered, bounded, and only use the target
+		// function names.
+		var prev time.Duration
+		for _, inv := range tr {
+			if inv.At < prev {
+				t.Fatal("trace unordered")
+			}
+			prev = inv.At
+			if inv.Function != "JS" && inv.Function != "DH" {
+				t.Fatalf("unexpected function %q", inv.Function)
+			}
+			if inv.At >= 60*time.Minute {
+				t.Fatalf("invocation past MaxMinutes: %v", inv.At)
+			}
+		}
+	})
+}

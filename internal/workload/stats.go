@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// TraceStats summarizes a trace's load shape — the properties (bursts,
+// skew, idle gaps) that decide whether keep-alive caching works and that
+// the evaluation's workloads are designed around.
+type TraceStats struct {
+	Invocations int
+	Duration    time.Duration
+	Functions   int
+	// MeanRPS is the average arrival rate.
+	MeanRPS float64
+	// PeakMinute is the largest per-minute arrival count.
+	PeakMinute int
+	// Burstiness is peak-minute rate over mean rate (1 = perfectly
+	// smooth).
+	Burstiness float64
+	// InterArrivalCV is the coefficient of variation of inter-arrival
+	// times (1 = Poisson, >1 = bursty).
+	InterArrivalCV float64
+	// MaxIdleGap is the longest per-function quiet period — compared
+	// against the keep-alive window it predicts cold returns.
+	MaxIdleGap time.Duration
+	// Skew is the busiest function's share of all invocations.
+	Skew float64
+}
+
+// Stats computes summary statistics for a trace.
+func (t Trace) Stats() TraceStats {
+	var s TraceStats
+	s.Invocations = t.Len()
+	if s.Invocations == 0 {
+		return s
+	}
+	s.Duration = t.Duration()
+	counts := t.CountByFunction()
+	s.Functions = len(counts)
+	if s.Duration > 0 {
+		s.MeanRPS = float64(s.Invocations) / s.Duration.Seconds()
+	}
+	// Per-minute histogram.
+	perMin := map[int]int{}
+	for _, inv := range t {
+		perMin[int(inv.At/time.Minute)]++
+	}
+	for _, c := range perMin {
+		if c > s.PeakMinute {
+			s.PeakMinute = c
+		}
+	}
+	minutes := s.Duration.Minutes()
+	if minutes < 1 {
+		minutes = 1
+	}
+	meanPerMin := float64(s.Invocations) / minutes
+	if meanPerMin > 0 {
+		s.Burstiness = float64(s.PeakMinute) / meanPerMin
+	}
+	// Inter-arrival CV (trace is time-ordered).
+	if s.Invocations > 2 {
+		var gaps []float64
+		for i := 1; i < len(t); i++ {
+			gaps = append(gaps, float64(t[i].At-t[i-1].At))
+		}
+		mean, sd := meanStd(gaps)
+		if mean > 0 {
+			s.InterArrivalCV = sd / mean
+		}
+	}
+	// Max per-function idle gap.
+	byFn := map[string][]time.Duration{}
+	for _, inv := range t {
+		byFn[inv.Function] = append(byFn[inv.Function], inv.At)
+	}
+	for _, ats := range byFn {
+		sort.Slice(ats, func(i, j int) bool { return ats[i] < ats[j] })
+		for i := 1; i < len(ats); i++ {
+			if gap := ats[i] - ats[i-1]; gap > s.MaxIdleGap {
+				s.MaxIdleGap = gap
+			}
+		}
+	}
+	// Popularity skew.
+	busiest := 0
+	for _, c := range counts {
+		if c > busiest {
+			busiest = c
+		}
+	}
+	s.Skew = float64(busiest) / float64(s.Invocations)
+	return s
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	return mean, sd
+}
+
+// String renders the stats on one line.
+func (s TraceStats) String() string {
+	return fmt.Sprintf("n=%d dur=%v fns=%d rps=%.2f burstiness=%.1f cv=%.1f maxIdle=%v skew=%.2f",
+		s.Invocations, s.Duration.Round(time.Second), s.Functions, s.MeanRPS,
+		s.Burstiness, s.InterArrivalCV, s.MaxIdleGap.Round(time.Second), s.Skew)
+}
+
+// DefeatsKeepAlive reports whether some function's idle gap exceeds the
+// retention window (so plain caching will take cold starts).
+func (s TraceStats) DefeatsKeepAlive(keepAlive time.Duration) bool {
+	return s.MaxIdleGap > keepAlive
+}

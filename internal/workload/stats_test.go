@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestStatsEmptyTrace(t *testing.T) {
+	s := (Trace{}).Stats()
+	if s.Invocations != 0 || s.MeanRPS != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestStatsHandComputed(t *testing.T) {
+	tr := Trace{
+		{At: 0, Function: "a"},
+		{At: 30 * time.Second, Function: "a"},
+		{At: 60 * time.Second, Function: "b"},
+		{At: 120 * time.Second, Function: "a"},
+	}
+	s := tr.Stats()
+	if s.Invocations != 4 || s.Functions != 2 {
+		t.Fatalf("%+v", s)
+	}
+	if s.MeanRPS != 4.0/120.0 {
+		t.Fatalf("rps = %v", s.MeanRPS)
+	}
+	if s.PeakMinute != 2 { // minute 0 holds two invocations
+		t.Fatalf("peak minute = %d", s.PeakMinute)
+	}
+	// a's longest gap: 30s->120s = 90s.
+	if s.MaxIdleGap != 90*time.Second {
+		t.Fatalf("max idle = %v", s.MaxIdleGap)
+	}
+	if s.Skew != 0.75 {
+		t.Fatalf("skew = %v", s.Skew)
+	}
+	if !s.DefeatsKeepAlive(time.Minute) || s.DefeatsKeepAlive(2*time.Minute) {
+		t.Fatal("keep-alive predicate wrong")
+	}
+	if s.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+// The designed workloads must have the shapes the paper needs.
+func TestWorkloadShapesMatchIntent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w1 := W1Bursty(rng, DefaultW1(names())).Stats()
+	// W1: bursts separated by more than the 10-minute keep-alive.
+	if !w1.DefeatsKeepAlive(10 * time.Minute) {
+		t.Fatalf("W1 does not defeat keep-alive: %v", w1.MaxIdleGap)
+	}
+	// Function bursts are staggered, so aggregate per-minute counts look
+	// even; the burstiness shows up as a huge inter-arrival CV (18
+	// arrivals within 150 ms, then a minute of silence).
+	if w1.InterArrivalCV < 2 {
+		t.Fatalf("W1 inter-arrival CV = %.1f, should be strongly bursty", w1.InterArrivalCV)
+	}
+	w2 := W2Diurnal(rng, DefaultW2(names())).Stats()
+	// W2: rotation makes per-function gaps exceed keep-alive while the
+	// total stream stays comparatively smooth.
+	if !w2.DefeatsKeepAlive(10 * time.Minute) {
+		t.Fatalf("W2 does not defeat keep-alive: %v", w2.MaxIdleGap)
+	}
+	if w2.InterArrivalCV > w1.InterArrivalCV {
+		t.Fatal("W2 should be smoother than W1")
+	}
+	az := Industrial(rng, AzureConfig(names())).Stats()
+	if !az.DefeatsKeepAlive(10 * time.Minute) {
+		t.Fatal("Azure-like trace lacks keep-alive-defeating idle gaps")
+	}
+	if az.Skew < 0.15 {
+		t.Fatalf("Azure-like trace lacks popularity skew: %.2f", az.Skew)
+	}
+}
+
+func TestInterArrivalCVBurstyVsSmooth(t *testing.T) {
+	// A perfectly regular trace has CV ~0; a bursty one far above 1.
+	var smooth Trace
+	for i := 0; i < 100; i++ {
+		smooth = append(smooth, Invocation{At: time.Duration(i) * time.Second, Function: "a"})
+	}
+	if cv := smooth.Stats().InterArrivalCV; cv > 0.01 {
+		t.Fatalf("regular trace cv = %v", cv)
+	}
+	var bursty Trace
+	for burst := 0; burst < 5; burst++ {
+		base := time.Duration(burst) * 10 * time.Minute
+		for i := 0; i < 20; i++ {
+			bursty = append(bursty, Invocation{At: base + time.Duration(i)*time.Millisecond, Function: "a"})
+		}
+	}
+	if cv := bursty.Stats().InterArrivalCV; cv < 2 {
+		t.Fatalf("bursty trace cv = %v", cv)
+	}
+}

@@ -1,0 +1,310 @@
+// Package trenv is a reproduction of "TrEnv: Transparently Share
+// Serverless Execution Environments Across Different Functions and
+// Nodes" (SOSP 2024) as a self-contained, deterministic simulation in
+// pure Go.
+//
+// TrEnv attacks the two costs a serverless platform pays for every
+// invocation — building an isolated sandbox and restoring the function's
+// memory state — by (1) cleansing finished sandboxes into a universal,
+// function-type-agnostic pool and *repurposing* them for whatever
+// function is pending, and (2) replacing memory restoration with an
+// mm-template: an in-kernel, process-independent memory descriptor whose
+// page tables point into deduplicated images on shared CXL or RDMA
+// memory pools, attached to a new process by copying only metadata.
+//
+// This package is the public facade over the full reproduction:
+//
+//   - NewContainerPlatform runs the container-based evaluation (faasd /
+//     CRIU / REAP+ / FaaSnap+ / TrEnv-CXL / TrEnv-RDMA plus the Figure 21
+//     ablations) on Table 4's ten functions under the W1/W2/industrial
+//     workloads.
+//   - NewAgentPlatform runs the VM-based LLM-agent evaluation (E2B, E2B+,
+//     vanilla Cloud Hypervisor, TrEnv, TrEnv-S with browser sharing) on
+//     Table 2's six agents.
+//   - NewCluster shares one CXL pool — consolidated images, templates and
+//     all — across several nodes (the rack-level deployment of §8.2).
+//   - Experiments regenerates every table and figure of the paper's
+//     evaluation; see also cmd/trenv-bench.
+//
+// Everything runs on a discrete-event engine over virtual time: a given
+// seed reproduces results bit-for-bit, and thirty simulated minutes cost
+// well under a second of wall clock. See DESIGN.md for the substitution
+// map (what the paper ran on hardware vs. what is modeled here) and
+// EXPERIMENTS.md for paper-vs-measured numbers.
+package trenv
+
+import (
+	"io"
+	"math/rand"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/faas"
+	"repro/internal/mem"
+	"repro/internal/mmtemplate"
+	"repro/internal/pagetable"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Container-based platform (§4-§5, evaluated in §9.2-§9.5).
+
+// ContainerPolicy selects the container platform's start strategy.
+type ContainerPolicy = faas.Policy
+
+// Container policies.
+const (
+	// Faasd is the plain cold-start baseline.
+	Faasd ContainerPolicy = faas.PolicyFaasd
+	// CRIU restores from snapshots with a full memory copy.
+	CRIU ContainerPolicy = faas.PolicyCRIU
+	// REAPPlus is REAP lazy restore with a recycled-netns pool.
+	REAPPlus ContainerPolicy = faas.PolicyREAPPlus
+	// FaaSnapPlus is FaaSnap async prefetch with a recycled-netns pool.
+	FaaSnapPlus ContainerPolicy = faas.PolicyFaaSnapPlus
+	// TrEnvCXL is repurposable sandboxes + mm-templates on a CXL pool.
+	TrEnvCXL ContainerPolicy = faas.PolicyTrEnvCXL
+	// TrEnvRDMA is repurposable sandboxes + mm-templates on an RDMA pool.
+	TrEnvRDMA ContainerPolicy = faas.PolicyTrEnvRDMA
+	// AblationReconfig enables sandbox repurposing only (Figure 21).
+	AblationReconfig ContainerPolicy = faas.PolicyReconfig
+	// AblationCgroup adds CLONE_INTO_CGROUP on top of repurposing.
+	AblationCgroup ContainerPolicy = faas.PolicyCgroup
+)
+
+// ContainerConfig parameterizes a container platform.
+type ContainerConfig = faas.Config
+
+// ContainerPlatform is a single simulated node running one policy.
+type ContainerPlatform = faas.Platform
+
+// DefaultContainerConfig returns the testbed-like configuration.
+func DefaultContainerConfig(policy ContainerPolicy) ContainerConfig {
+	return faas.DefaultConfig(policy)
+}
+
+// NewContainerPlatform builds a container platform.
+func NewContainerPlatform(cfg ContainerConfig) *ContainerPlatform {
+	return faas.New(cfg)
+}
+
+// ---------------------------------------------------------------------
+// VM-based agent platform (§6, evaluated in §9.6).
+
+// AgentPolicy selects the agent platform variant.
+type AgentPolicy = vm.Policy
+
+// Agent platform policies.
+const (
+	// E2B is the Firecracker-style code-interpreter baseline.
+	E2B AgentPolicy = vm.PolicyE2B
+	// E2BPlus adds RunD's rootfs mapping to E2B.
+	E2BPlus AgentPolicy = vm.PolicyE2BPlus
+	// VanillaCH restores VMs with a full guest-memory copy.
+	VanillaCH AgentPolicy = vm.PolicyVanillaCH
+	// TrEnvVM uses repurposable sandboxes + mm-template VM restore +
+	// virtio-pmem union storage.
+	TrEnvVM AgentPolicy = vm.PolicyTrEnv
+	// TrEnvVMShared additionally shares browser instances (§6.2).
+	TrEnvVMShared AgentPolicy = vm.PolicyTrEnvS
+)
+
+// AgentConfig parameterizes an agent platform.
+type AgentConfig = vm.Config
+
+// AgentPlatform runs agents in microVMs under one policy.
+type AgentPlatform = vm.Platform
+
+// DefaultAgentConfig returns the §9.6 testbed shape.
+func DefaultAgentConfig(policy AgentPolicy) AgentConfig {
+	return vm.DefaultConfig(policy)
+}
+
+// NewAgentPlatform builds an agent platform.
+func NewAgentPlatform(cfg AgentConfig) (*AgentPlatform, error) {
+	return vm.New(cfg)
+}
+
+// ---------------------------------------------------------------------
+// Rack-level clusters (§8.2).
+
+// Cluster is a rack of container nodes sharing one CXL pool.
+type Cluster = cluster.Cluster
+
+// NewCluster builds an n-node rack; cfg must use TrEnvCXL.
+func NewCluster(n int, cfg ContainerConfig) (*Cluster, error) {
+	return cluster.New(n, cfg)
+}
+
+// MultiRack blends CXL (intra-rack) and RDMA (inter-rack) across racks
+// (§8.2): each function's image lives once in its home rack's CXL pool
+// and is reachable cluster-wide over the fabric.
+type MultiRack = cluster.MultiRack
+
+// NewMultiRack builds a racks x nodesPerRack cluster; cfg must use
+// TrEnvCXL.
+func NewMultiRack(racks, nodesPerRack int, cfg ContainerConfig) (*MultiRack, error) {
+	return cluster.NewMultiRack(racks, nodesPerRack, cfg)
+}
+
+// ---------------------------------------------------------------------
+// Workloads.
+
+// FunctionProfile describes one serverless function (Table 4).
+type FunctionProfile = workload.FunctionProfile
+
+// Functions returns the ten evaluated functions of Table 4.
+func Functions() []FunctionProfile { return workload.Table4() }
+
+// FunctionByName looks a Table 4 function up by name.
+func FunctionByName(name string) (FunctionProfile, error) {
+	return workload.ProfileByName(name)
+}
+
+// AgentProfile describes one LLM agent (Table 2).
+type AgentProfile = agent.Profile
+
+// Agents returns the six evaluated agents of Table 2.
+func Agents() []AgentProfile { return agent.Table2() }
+
+// AgentByName looks a Table 2 agent up by name.
+func AgentByName(name string) (AgentProfile, error) { return agent.ByName(name) }
+
+// Pricing carries the §2.3 cost-model constants.
+type Pricing = agent.Pricing
+
+// DefaultPricing returns the cost-study pricing.
+func DefaultPricing() Pricing { return agent.DefaultPricing() }
+
+// LLMCost computes Eq. 1 for an agent.
+func LLMCost(a AgentProfile, pr Pricing) float64 { return agent.LLMCost(a, pr) }
+
+// ServerlessCost computes Eq. 2 for an agent.
+func ServerlessCost(a AgentProfile, pr Pricing) float64 { return agent.ServerlessCost(a, pr) }
+
+// Trace is a time-ordered invocation list.
+type Trace = workload.Trace
+
+// Invocation is one entry of a Trace.
+type Invocation = workload.Invocation
+
+// AzureCSVOptions controls ingestion of Azure Functions CSV traces.
+type AzureCSVOptions = workload.AzureCSVOptions
+
+// ParseAzureCSV maps an Azure Functions trace's busiest rows onto
+// simulated functions (see cmd/trenv-trace -from-csv).
+func ParseAzureCSV(r io.Reader, rng *rand.Rand, opts AzureCSVOptions) (Trace, error) {
+	return workload.ParseAzureCSV(r, rng, opts)
+}
+
+// WriteAgentTrace / ReadAgentTrace serialize recorded agent timelines
+// (the §9.6 record-and-replay methodology).
+func WriteAgentTrace(w io.Writer, p AgentProfile) error { return agent.WriteTrace(w, p) }
+
+// ReadAgentTrace parses a recorded agent timeline.
+func ReadAgentTrace(r io.Reader) (AgentProfile, error) { return agent.ReadTrace(r) }
+
+// ---------------------------------------------------------------------
+// Low-level substrate (the paper's primary contribution, exposed for
+// building custom experiments).
+
+// MemoryPool is a disaggregated memory pool (CXL/RDMA/NAS/tmpfs).
+type MemoryPool = mem.Pool
+
+// NewCXLPool returns a byte-addressable shared CXL pool.
+func NewCXLPool(capacity int64) *MemoryPool {
+	return mem.NewPool(mem.CXL, capacity, mem.DefaultLatencyModel())
+}
+
+// NewRDMAPool returns a message-based RDMA pool.
+func NewRDMAPool(capacity int64) *MemoryPool {
+	return mem.NewPool(mem.RDMA, capacity, mem.DefaultLatencyModel())
+}
+
+// Prot is a page-protection bitmask for template maps.
+type Prot = pagetable.Prot
+
+// Protection bits.
+const (
+	ProtRead  Prot = pagetable.Read
+	ProtWrite Prot = pagetable.Write
+	ProtExec  Prot = pagetable.Exec
+)
+
+// MapKind distinguishes anonymous from file-backed template maps.
+type MapKind = pagetable.MapKind
+
+// Map kinds.
+const (
+	MapAnon MapKind = pagetable.Anon
+	MapFile MapKind = pagetable.File
+)
+
+// TierManager places image blocks across hot (CXL) and cold (RDMA/NAS)
+// tiers with frequency-based promotion (§3.1's multi-layer architecture).
+type TierManager = mem.TierManager
+
+// NewTierManager manages placement with at most hotBudget bytes hot.
+func NewTierManager(hot, cold *MemoryPool, hotBudget int64) (*TierManager, error) {
+	return mem.NewTierManager(hot, cold, hotBudget)
+}
+
+// Snapshot is a function's checkpointed post-initialization state.
+type Snapshot = snapshot.Snapshot
+
+// WriteSnapshotImage / ReadSnapshotImage serialize CRIU-style image
+// files.
+func WriteSnapshotImage(w io.Writer, s *Snapshot) error { return snapshot.WriteImage(w, s) }
+
+// ReadSnapshotImage parses a CRIU-style image file.
+func ReadSnapshotImage(r io.Reader) (*Snapshot, error) { return snapshot.ReadImage(r) }
+
+// TemplateRegistry is the mm-template registry (the kernel XArray).
+type TemplateRegistry = mmtemplate.Registry
+
+// Template is one process's mm-template.
+type Template = mmtemplate.Template
+
+// NewTemplateRegistry returns an empty registry.
+func NewTemplateRegistry() *TemplateRegistry { return mmtemplate.NewRegistry() }
+
+// Engine is the deterministic discrete-event engine experiments run on.
+type Engine = sim.Engine
+
+// NewEngine returns an engine seeded for reproducibility.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// Histogram collects latency samples with exact percentiles.
+type Histogram = sim.Histogram
+
+// ---------------------------------------------------------------------
+// Experiment harness (every table and figure of the evaluation).
+
+// ExperimentOptions control experiment seed and scale.
+type ExperimentOptions = experiments.Options
+
+// ExperimentResult is one regenerated table/figure.
+type ExperimentResult = experiments.Result
+
+// RunExperiment regenerates one table or figure by ID ("table1".."fig26").
+// It returns false if the ID is unknown.
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentResult, bool) {
+	run, ok := experiments.ByID(id)
+	if !ok {
+		return nil, false
+	}
+	return run(o), true
+}
+
+// ExperimentIDs lists every experiment in presentation order.
+func ExperimentIDs() []string {
+	var out []string
+	for _, e := range experiments.All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
