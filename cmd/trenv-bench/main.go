@@ -4,9 +4,16 @@
 // Usage:
 //
 //	trenv-bench [-exp table1,fig17,...|all] [-seed N] [-scale F]
+//	            [-json] [-trace out.json]
+//
+// -json prints the results as a JSON array instead of paper-style text;
+// -trace collects every invocation's span tree during the runs and
+// writes them as Chrome trace-event JSON (open in chrome://tracing or
+// Perfetto).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -14,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -22,6 +30,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper scale)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	out := flag.String("out", "", "also write the output to this file")
+	tracePath := flag.String("trace", "", "write invocation spans as Chrome trace JSON to this file")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	flag.Parse()
 
 	var tee io.Writer = os.Stdout
@@ -42,6 +52,9 @@ func main() {
 		return
 	}
 	o := experiments.Options{Seed: *seed, Scale: *scale}
+	if *tracePath != "" {
+		o.Tracer = obs.NewTracer(0)
+	}
 	var ids []string
 	if *exp == "all" {
 		for _, e := range experiments.All() {
@@ -50,12 +63,44 @@ func main() {
 	} else {
 		ids = strings.Split(*exp, ",")
 	}
+	var results []*experiments.Result
 	for _, id := range ids {
 		run, ok := experiments.ByID(strings.TrimSpace(id))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "trenv-bench: unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
-		fmt.Fprintln(tee, run(o))
+		r := run(o)
+		if *jsonOut {
+			results = append(results, r)
+		} else {
+			fmt.Fprintln(tee, r)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(tee)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: encode results: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteChromeTrace(f, o.Tracer.Spans()); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trenv-bench: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: close trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trenv-bench: wrote %d spans (%d dropped) to %s\n",
+			o.Tracer.Len(), o.Tracer.Dropped(), *tracePath)
 	}
 }

@@ -13,16 +13,21 @@
 //	POST /functions            {"name":"JS"} deploy a Table 4 function
 //	POST /invoke               {"function":"JS","count":5,"spacing_ms":100}
 //	GET  /stats                aggregate + per-function metrics
+//	GET  /metrics              Prometheus text-format metrics
+//	GET  /trace?last=N         Chrome trace JSON of the last N invocations
 //	GET  /experiments          list experiment IDs
 //	POST /experiments/run      {"id":"fig23","scale":0.2} regenerate one
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +37,8 @@ import (
 type server struct {
 	mu       sync.Mutex
 	platform *trenv.ContainerPlatform
+	tracer   *trenv.Tracer
+	registry *trenv.MetricsRegistry
 	deployed map[string]bool
 	now      time.Duration // virtual time high-water mark
 }
@@ -40,22 +47,50 @@ type server struct {
 func newServer(policy trenv.ContainerPolicy, seed int64) *server {
 	cfg := trenv.DefaultContainerConfig(policy)
 	cfg.Seed = seed
+	tracer := trenv.NewTracer(0)
+	cfg.Tracer = tracer
+	pl := trenv.NewContainerPlatform(cfg)
+	reg := trenv.NewMetricsRegistry()
+	pl.RegisterMetrics(reg)
 	return &server{
-		platform: trenv.NewContainerPlatform(cfg),
+		platform: pl,
+		tracer:   tracer,
+		registry: reg,
 		deployed: make(map[string]bool),
 	}
 }
 
-// mux routes the API.
+// mux routes the API. Each route also registers a method-agnostic
+// fallback so an unsupported method gets a JSON 405 with an Allow
+// header instead of the mux's plain-text default.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /functions", s.listFunctions)
 	mux.HandleFunc("POST /functions", s.deployFunction)
+	mux.HandleFunc("/functions", methodNotAllowed("GET", "POST"))
 	mux.HandleFunc("POST /invoke", s.invoke)
+	mux.HandleFunc("/invoke", methodNotAllowed("POST"))
 	mux.HandleFunc("GET /stats", s.stats)
+	mux.HandleFunc("/stats", methodNotAllowed("GET"))
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("/metrics", methodNotAllowed("GET"))
+	mux.HandleFunc("GET /trace", s.trace)
+	mux.HandleFunc("/trace", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /experiments", s.listExperiments)
+	mux.HandleFunc("/experiments", methodNotAllowed("GET"))
 	mux.HandleFunc("POST /experiments/run", s.runExperiment)
+	mux.HandleFunc("/experiments/run", methodNotAllowed("POST"))
 	return mux
+}
+
+// methodNotAllowed answers any method the route does not support.
+func methodNotAllowed(allowed ...string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{
+			"error": fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, strings.Join(allowed, ", ")),
+		})
+	}
 }
 
 func main() {
@@ -72,7 +107,9 @@ func main() {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("trenvd: write response: %v", err)
+	}
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -168,6 +205,43 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		"virtual_time":   s.now.String(),
 		"warm_instances": s.platform.WarmCount(),
 	})
+}
+
+// metrics serves the registry in Prometheus text format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var buf bytes.Buffer
+	err := s.registry.WritePrometheus(&buf)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("trenvd: write metrics: %v", err)
+	}
+}
+
+// trace serves the most recent invocation span trees as Chrome
+// trace-event JSON (open in chrome://tracing or Perfetto).
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	last := 0
+	if q := r.URL.Query().Get("last"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad last=%q (want a non-negative integer)", q)
+			return
+		}
+		last = n
+	}
+	s.mu.Lock()
+	roots := s.tracer.Last(last)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := trenv.WriteChromeTrace(w, roots); err != nil {
+		log.Printf("trenvd: write trace: %v", err)
+	}
 }
 
 func (s *server) listExperiments(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// deployAndInvoke drives a few invocations so metrics and traces have
+// content.
+func deployAndInvoke(t *testing.T, url string) {
+	t.Helper()
+	if resp, _ := postJSON(t, url+"/functions", map[string]string{"name": "JS"}); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, url+"/invoke", map[string]any{"function": "JS", "count": 4, "spacing_ms": 50}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke status = %d", resp.StatusCode)
+	}
+}
+
+func TestMetricsEndpointServesPrometheus(t *testing.T) {
+	ts := testServer(t)
+	deployAndInvoke(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE trenv_e2e_latency_ms summary",
+		`trenv_e2e_latency_ms{function="JS",quantile="0.99"}`,
+		`trenv_startup_latency_ms{function="_all"`,
+		"# TYPE trenv_warm_hits_total counter",
+		"# TYPE trenv_cold_starts_total counter",
+		"# TYPE trenv_repurposes_total counter",
+		"trenv_invocations_total 4",
+		"trenv_node_mem_peak_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name{labels} value" — a cheap
+	// text-format validity check.
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		if fields := strings.Fields(ln); len(fields) != 2 {
+			t.Fatalf("malformed metrics line %q", ln)
+		}
+	}
+}
+
+func TestTraceEndpointServesChromeJSON(t *testing.T) {
+	ts := testServer(t)
+	deployAndInvoke(t, ts.URL)
+
+	resp, err := http.Get(ts.URL + "/trace?last=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	roots := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q phase = %q, want X", e.Name, e.Ph)
+		}
+		if e.Name == "invoke/JS" {
+			roots++
+		}
+	}
+	if roots != 2 {
+		t.Fatalf("got %d invoke roots, want 2 (last=2)", roots)
+	}
+
+	// Bad query parameter rejected.
+	bad, err := http.Get(ts.URL + "/trace?last=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad last status = %d", bad.StatusCode)
+	}
+}
+
+func TestMethodNotAllowedIsJSON(t *testing.T) {
+	ts := testServer(t)
+	for path, method := range map[string]string{
+		"/metrics":     http.MethodPost,
+		"/trace":       http.MethodDelete,
+		"/invoke":      http.MethodGet,
+		"/stats":       http.MethodPost,
+		"/experiments": http.MethodPut,
+	} {
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s status = %d, want 405", method, path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s %s content-type = %q, want JSON", method, path, ct)
+		}
+		if allow := resp.Header.Get("Allow"); allow == "" {
+			t.Fatalf("%s %s missing Allow header", method, path)
+		}
+		var out map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s %s body not JSON: %v", method, path, err)
+		}
+		resp.Body.Close()
+		if out["error"] == "" {
+			t.Fatalf("%s %s error body = %v", method, path, out)
+		}
+	}
+}

@@ -62,6 +62,27 @@ type Step struct {
 	OutTokens int
 }
 
+// SpanAttrs returns the step's observability annotations (token counts
+// for LLM calls, byte counts for memory/file activity); zero-valued
+// fields are omitted. Used by the platform tracers when recording a
+// span per step.
+func (s Step) SpanAttrs() map[string]string {
+	attrs := make(map[string]string)
+	if s.InTokens > 0 {
+		attrs["in_tokens"] = fmt.Sprint(s.InTokens)
+	}
+	if s.OutTokens > 0 {
+		attrs["out_tokens"] = fmt.Sprint(s.OutTokens)
+	}
+	if s.MemBytes > 0 {
+		attrs["mem_bytes"] = fmt.Sprint(s.MemBytes)
+	}
+	if s.FileBytes > 0 {
+		attrs["file_bytes"] = fmt.Sprint(s.FileBytes)
+	}
+	return attrs
+}
+
 // Profile is one agent application.
 type Profile struct {
 	Name        string

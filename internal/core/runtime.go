@@ -78,6 +78,13 @@ type Startup struct {
 	Path    StartPath
 	Sandbox time.Duration // isolation environment work
 	Restore time.Duration // memory/process state restore or bootstrap
+
+	// SandboxBD decomposes Sandbox into netns/rootfs/cgroup components.
+	// Sandbox minus SandboxBD.Total() is repurposing work (or zero).
+	SandboxBD sandbox.Breakdown
+	// RestoreBD decomposes Restore into copy/attach/mmap/proc phases.
+	// Restore minus RestoreBD.Total() is bootstrap/dispatch work.
+	RestoreBD snapshot.Breakdown
 }
 
 // Total returns the startup latency.
@@ -183,7 +190,7 @@ func (rt *Runtime) StartCold(p *sim.Proc, prof workload.FunctionProfile) (*Insta
 		res.ReleaseAll()
 		return nil, Startup{}, err
 	}
-	st := Startup{Path: PathCold, Sandbox: bd.Total(), Restore: prof.ColdInit}
+	st := Startup{Path: PathCold, Sandbox: bd.Total(), Restore: prof.ColdInit, SandboxBD: bd}
 	return &Instance{Function: prof.Name, Profile: prof, Sandbox: sb, Restored: res,
 		Procs: procs, Path: PathCold, OverheadBytes: rt.ContainerOverhead}, st, nil
 }
@@ -206,7 +213,9 @@ func (rt *Runtime) StartCRIU(p *sim.Proc, prof workload.FunctionProfile, snap *s
 		res.ReleaseAll()
 		return nil, Startup{}, err
 	}
-	st := Startup{Path: PathCRIU, Sandbox: bd.Total(), Restore: restore}
+	rbd := res.BD
+	rbd.Copy += restore - res.Latency // concurrent-restore sharing surcharge
+	st := Startup{Path: PathCRIU, Sandbox: bd.Total(), Restore: restore, SandboxBD: bd, RestoreBD: rbd}
 	return &Instance{Function: prof.Name, Profile: prof, Sandbox: sb, Restored: res,
 		Procs: procs, Path: PathCRIU, OverheadBytes: rt.ContainerOverhead}, st, nil
 }
@@ -215,15 +224,16 @@ func (rt *Runtime) StartCRIU(p *sim.Proc, prof workload.FunctionProfile, snap *s
 // recycling pool (created on miss), a Firecracker snapshot resume, and a
 // lazy memory restore from the tmpfs snapshot.
 func (rt *Runtime) StartLazyVM(p *sim.Proc, prof workload.FunctionProfile, snap *snapshot.Snapshot, tmpfs *mem.Pool, cfg snapshot.LazyConfig) (*Instance, Startup, error) {
-	var sandboxCost time.Duration
+	var sbd sandbox.Breakdown
 	ns := rt.NetPool.Get()
 	if ns == nil {
 		var d time.Duration
 		ns, d = rt.Factory.CreateNetNS(p)
-		sandboxCost += d
+		sbd.NetNS = d
 	}
 	p.Sleep(rt.VMResume)
-	sandboxCost += rt.VMResume
+	sbd.Other = rt.VMResume // Firecracker device-state resume
+	sandboxCost := sbd.Total()
 	tmpfs.BeginFetch()
 	res, err := snapshot.RestoreLazy(p.Rand(), snap, rt.Tracker, tmpfs, cfg, rt.Lat, rt.RestoreCosts)
 	if err != nil {
@@ -244,7 +254,8 @@ func (rt *Runtime) StartLazyVM(p *sim.Proc, prof workload.FunctionProfile, snap 
 		rt.NetPool.Put(ns)
 		return nil, Startup{}, err
 	}
-	st := Startup{Path: PathLazyVM, Sandbox: sandboxCost, Restore: res.Latency}
+	st := Startup{Path: PathLazyVM, Sandbox: sandboxCost, Restore: res.Latency,
+		SandboxBD: sbd, RestoreBD: res.BD}
 	return &Instance{Function: prof.Name, Profile: prof, NetNS: ns, Restored: res,
 		Procs: procs, Path: PathLazyVM, OverheadBytes: rt.VMOverhead}, st, nil
 }
@@ -253,12 +264,14 @@ func (rt *Runtime) StartLazyVM(p *sim.Proc, prof workload.FunctionProfile, snap 
 // (creating one only on pool miss) and attach the mm-templates.
 func (rt *Runtime) StartTrEnv(p *sim.Proc, prof workload.FunctionProfile, img *snapshot.Image) (*Instance, Startup, error) {
 	var sandboxCost time.Duration
+	var sbd sandbox.Breakdown
 	path := PathRepurpose
 	sb := rt.SBPool.Get()
 	if sb == nil {
 		var bd sandbox.Breakdown
 		sb, bd = rt.Factory.Create(p, prof.Name)
 		sandboxCost = bd.Total()
+		sbd = bd
 		path = PathCold // pool miss: sandbox had to be built
 	} else {
 		d, err := rt.Factory.Repurpose(p, sb, prof.Name)
@@ -281,7 +294,8 @@ func (rt *Runtime) StartTrEnv(p *sim.Proc, prof workload.FunctionProfile, img *s
 		res.ReleaseAll()
 		return nil, Startup{}, err
 	}
-	st := Startup{Path: path, Sandbox: sandboxCost, Restore: res.Latency}
+	st := Startup{Path: path, Sandbox: sandboxCost, Restore: res.Latency,
+		SandboxBD: sbd, RestoreBD: res.BD}
 	return &Instance{Function: prof.Name, Profile: prof, Sandbox: sb, Restored: res,
 		Procs: procs, Path: path, OverheadBytes: rt.ContainerOverhead}, st, nil
 }
@@ -292,12 +306,14 @@ func (rt *Runtime) StartTrEnv(p *sim.Proc, prof workload.FunctionProfile, img *s
 // it true only the fast spawn path is used (the "Cgroup" bar).
 func (rt *Runtime) StartReconfig(p *sim.Proc, prof workload.FunctionProfile, snap *snapshot.Snapshot, cloneIntoCgroup bool) (*Instance, Startup, error) {
 	var sandboxCost time.Duration
+	var sbd sandbox.Breakdown
 	path := PathRepurpose
 	sb := rt.SBPool.Get()
 	if sb == nil {
 		var bd sandbox.Breakdown
 		sb, bd = rt.Factory.Create(p, prof.Name)
 		sandboxCost = bd.Total()
+		sbd = bd
 		path = PathCold
 	} else {
 		d, err := rt.Factory.Repurpose(p, sb, prof.Name)
@@ -306,7 +322,8 @@ func (rt *Runtime) StartReconfig(p *sim.Proc, prof workload.FunctionProfile, sna
 		}
 		sandboxCost = d
 		if !cloneIntoCgroup {
-			sandboxCost += rt.Factory.MigrateCgroup(p)
+			sbd.CgroupMigrate = rt.Factory.MigrateCgroup(p)
+			sandboxCost += sbd.CgroupMigrate
 		}
 	}
 	res, err := snapshot.RestoreFullCopy(snap, rt.Tracker, rt.Lat, rt.RestoreCosts)
@@ -323,7 +340,10 @@ func (rt *Runtime) StartReconfig(p *sim.Proc, prof workload.FunctionProfile, sna
 		res.ReleaseAll()
 		return nil, Startup{}, err
 	}
-	st := Startup{Path: path, Sandbox: sandboxCost, Restore: restore}
+	rbd := res.BD
+	rbd.Copy += restore - res.Latency
+	st := Startup{Path: path, Sandbox: sandboxCost, Restore: restore,
+		SandboxBD: sbd, RestoreBD: rbd}
 	return &Instance{Function: prof.Name, Profile: prof, Sandbox: sb, Restored: res,
 		Procs: procs, Path: path, OverheadBytes: rt.ContainerOverhead}, st, nil
 }

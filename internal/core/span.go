@@ -1,0 +1,66 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// StartupSpan renders a Startup as an obs span subtree rooted at
+// "startup" and anchored at virtual time at. Child phases are laid out
+// sequentially (matching the order the start paths charge them) and
+// their durations sum exactly to st.Total(), so trace timelines agree
+// with the reported startup latencies.
+func StartupSpan(st Startup, at time.Duration) *obs.Span {
+	root := obs.NewSpan("startup", at, at+st.Total())
+	root.SetAttr("path", string(st.Path))
+	cursor := at
+
+	if st.Sandbox > 0 {
+		sb := root.Child("sandbox", cursor, cursor+st.Sandbox)
+		c := cursor
+		add := func(name string, d time.Duration) {
+			if d > 0 {
+				sb.Child(name, c, c+d)
+				c += d
+			}
+		}
+		add("netns", st.SandboxBD.NetNS)
+		add("rootfs", st.SandboxBD.Rootfs)
+		add("cgroup-create", st.SandboxBD.CgroupCreate)
+		add("cgroup-migrate", st.SandboxBD.CgroupMigrate)
+		add("other-ns", st.SandboxBD.Other)
+		// Residual sandbox work is the repurpose fast path (reconfigure
+		// an already-built sandbox for the new occupant).
+		if rem := st.Sandbox - st.SandboxBD.Total(); rem > 0 {
+			sb.Child("repurpose", c, c+rem)
+		}
+		cursor += st.Sandbox
+	}
+
+	if st.Restore > 0 {
+		rs := root.Child("restore", cursor, cursor+st.Restore)
+		c := cursor
+		add := func(name string, d time.Duration) {
+			if d > 0 {
+				rs.Child(name, c, c+d)
+				c += d
+			}
+		}
+		add("orchestration", st.RestoreBD.Orchestration)
+		add("mmap", st.RestoreBD.Mmap)
+		add("copy", st.RestoreBD.Copy)
+		add("attach", st.RestoreBD.Attach)
+		add("procs", st.RestoreBD.Procs)
+		// Residual restore time is runtime bootstrap (cold init) or the
+		// warm-reuse dispatch cost.
+		if rem := st.Restore - st.RestoreBD.Total(); rem > 0 {
+			name := "bootstrap"
+			if st.Path == PathWarm {
+				name = "dispatch"
+			}
+			rs.Child(name, c, c+rem)
+		}
+	}
+	return root
+}

@@ -38,6 +38,7 @@ func ablateBrowserFanIn(o Options, r *Result) {
 		cfg := vm.DefaultConfig(vm.PolicyTrEnvS)
 		cfg.Seed = o.Seed
 		cfg.Browser.AgentsPerBrowser = k
+		cfg.Tracer = o.Tracer
 		pl, err := vm.New(cfg)
 		if err != nil {
 			panic(err)
@@ -62,6 +63,7 @@ func ablateHotFraction(o Options, r *Result) {
 		cfg.KeepAlive = o.dur(10 * time.Minute)
 		cfg.Warmup = o.dur(5 * time.Minute)
 		cfg.HotFraction = frac
+		cfg.Tracer = o.Tracer
 		pl := faas.New(cfg)
 		for _, p := range workload.Table4() {
 			pl.Register(p)
@@ -80,6 +82,7 @@ func ablatePromotion(o Options, r *Result) {
 		cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
 		cfg.Seed = o.Seed
 		cfg.PromoteHotAfter = after
+		cfg.Tracer = o.Tracer
 		pl := faas.New(cfg)
 		prof, _ := workload.ProfileByName("DH")
 		pl.Register(prof)
@@ -104,6 +107,7 @@ func ablateEPT(o Options, r *Result) {
 		cfg := vm.DefaultConfig(vm.PolicyTrEnv)
 		cfg.Seed = o.Seed
 		cfg.PrePopulateEPT = pre
+		cfg.Tracer = o.Tracer
 		pl, err := vm.New(cfg)
 		if err != nil {
 			panic(err)
@@ -150,6 +154,7 @@ func ablateCleanAfterUse(o Options, r *Result) {
 		cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
 		cfg.Seed = o.Seed
 		cfg.CleanAfterUse = clean
+		cfg.Tracer = o.Tracer
 		pl := faas.New(cfg)
 		prof, _ := workload.ProfileByName("JS")
 		pl.Register(prof)

@@ -10,6 +10,7 @@ import (
 func agentPlatform(o Options, pol vm.Policy, cores int) *vm.Platform {
 	cfg := vm.DefaultConfig(pol)
 	cfg.Seed = o.Seed
+	cfg.Tracer = o.Tracer
 	if cores > 0 {
 		cfg.Cores = cores
 	}
@@ -31,6 +32,7 @@ func Table2(o Options) *Result {
 		cfg := vm.DefaultConfig(vm.PolicyE2B)
 		cfg.Seed = o.Seed
 		cfg.Cores = 8
+		cfg.Tracer = o.Tracer
 		pl, err := vm.New(cfg)
 		if err != nil {
 			panic(err)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faas"
+	"repro/internal/obs"
 	"repro/internal/sandbox"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -27,6 +28,7 @@ func containerPlatform(o Options, pol faas.Policy, softCap int64) *faas.Platform
 	cfg.KeepAlive = o.dur(10 * time.Minute)
 	cfg.Warmup = o.dur(5 * time.Minute)
 	cfg.SoftMemCap = softCap
+	cfg.Tracer = o.Tracer
 	pl := faas.New(cfg)
 	for _, p := range workload.Table4() {
 		if err := pl.Register(p); err != nil {
@@ -144,6 +146,7 @@ func Fig4(o Options) *Result {
 func startupSplit(o Options, pol faas.Policy, concurrent int) (sbMs, restMs float64) {
 	cfg := faas.DefaultConfig(pol)
 	cfg.Seed = o.Seed
+	cfg.Tracer = o.Tracer
 	pl := faas.New(cfg)
 	js, _ := workload.ProfileByName("JS")
 	pl.Register(js)
@@ -167,6 +170,7 @@ func startupSplit(o Options, pol faas.Policy, concurrent int) (sbMs, restMs floa
 	for i := 0; i < concurrent; i++ {
 		isLast := i == concurrent-1
 		eng.Go("measure", func(p *sim.Proc) {
+			t0 := p.Now()
 			var st core.Startup
 			var err error
 			switch pol {
@@ -179,6 +183,12 @@ func startupSplit(o Options, pol faas.Policy, concurrent int) (sbMs, restMs floa
 			}
 			if err != nil {
 				panic(err)
+			}
+			if o.Tracer != nil {
+				root := obs.NewSpan("startup-split/"+js.Name, t0, t0+st.Total())
+				root.SetAttr("policy", string(pol))
+				root.Children = append(root.Children, core.StartupSpan(st, t0))
+				o.Tracer.Record(root)
 			}
 			if isLast {
 				last.sb, last.rest = st.Sandbox, st.Restore
@@ -314,6 +324,7 @@ func Fig19(o Options) *Result {
 		cfg.Seed = o.Seed
 		cfg.KeepAlive = 5 * time.Second // expire between invocations
 		cfg.Warmup = 105 * time.Second  // exclude the whole first round
+		cfg.Tracer = o.Tracer
 		pl := faas.New(cfg)
 		for _, p := range workload.Table4() {
 			pl.Register(p)
@@ -397,6 +408,7 @@ func Fig21(o Options) *Result {
 			cfg.Seed = o.Seed
 			cfg.KeepAlive = 5 * time.Second
 			cfg.Warmup = 10 * time.Second // exclude only the pool-seeding start
+			cfg.Tracer = o.Tracer
 			pl := faas.New(cfg)
 			prof, _ := workload.ProfileByName(fn)
 			pl.Register(prof)

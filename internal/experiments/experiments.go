@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options control experiment scale.
@@ -19,6 +21,9 @@ type Options struct {
 	// traces; CI runs use ~0.1). Keep-alive windows scale along with
 	// trace durations so workload semantics are preserved.
 	Scale float64
+	// Tracer, when non-nil, collects invocation span trees from every
+	// platform an experiment builds (cmd/trenv-bench -trace).
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns paper-scale options.
@@ -48,10 +53,10 @@ func (o Options) count(n int) int {
 
 // Result is one regenerated table or figure.
 type Result struct {
-	ID    string
-	Title string
-	Notes string
-	Lines []string
+	ID    string   `json:"id"`
+	Title string   `json:"title"`
+	Notes string   `json:"notes,omitempty"`
+	Lines []string `json:"lines"`
 }
 
 // Addf appends one formatted line.

@@ -26,6 +26,7 @@ func Sensitivity(o Options) *Result {
 		cfg.KeepAlive = o.dur(10 * time.Minute)
 		cfg.Warmup = o.dur(5 * time.Minute)
 		cfg.Latency = &lat
+		cfg.Tracer = o.Tracer
 		pl := faas.New(cfg)
 		for _, p := range workload.Table4() {
 			pl.Register(p)

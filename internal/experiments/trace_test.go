@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Fig4's measured starts must emit span trees whose startup phases sum
+// exactly to the reported sandbox+restore totals, and the trace must be
+// byte-for-byte reproducible for a fixed seed (the -trace contract of
+// cmd/trenv-bench).
+func TestFig4TraceSpansMatchStartupTotals(t *testing.T) {
+	tr := obs.NewTracer(0)
+	res := Fig4(Options{Seed: 1, Scale: 0.1, Tracer: tr})
+	if len(res.Lines) == 0 {
+		t.Fatal("fig4 produced no lines")
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("fig4 recorded no spans")
+	}
+	measured := 0
+	for _, root := range spans {
+		if !strings.HasPrefix(root.Name, "startup-split/") {
+			continue
+		}
+		measured++
+		if len(root.Children) != 1 || root.Children[0].Name != "startup" {
+			t.Fatalf("span %s children = %v, want one startup child", root.Name, root.Children)
+		}
+		st := root.Children[0]
+		if st.Duration() != root.Duration() {
+			t.Fatalf("%s: startup %v != measured total %v", root.Name, st.Duration(), root.Duration())
+		}
+		if st.ChildrenTotal() != st.Duration() {
+			t.Fatalf("%s: startup phases sum to %v, want %v", root.Name, st.ChildrenTotal(), st.Duration())
+		}
+	}
+	// 3 policies x (1 + 15) concurrent measured starts.
+	if measured != 48 {
+		t.Fatalf("measured %d startup-split spans, want 48", measured)
+	}
+}
+
+func TestFig4TraceDeterministicAcrossRuns(t *testing.T) {
+	render := func() []byte {
+		tr := obs.NewTracer(0)
+		Fig4(Options{Seed: 9, Scale: 0.1, Tracer: tr})
+		var buf bytes.Buffer
+		if err := obs.WriteChromeTrace(&buf, tr.Spans()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := render(), render(); !bytes.Equal(a, b) {
+		t.Fatal("fig4 Chrome trace differs across identical-seed runs")
+	}
+}
+
+// Result serializes with snake_case keys for trenv-bench -json.
+func TestResultJSONTags(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Lines: []string{"a"}}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{`"id":"x"`, `"title":"t"`, `"lines":["a"]`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON %s missing %q", out, want)
+		}
+	}
+	if strings.Contains(out, `"notes"`) {
+		t.Fatalf("empty notes should be omitted: %s", out)
+	}
+}

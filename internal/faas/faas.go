@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/workload"
@@ -100,6 +101,10 @@ type Config struct {
 	// DefaultLatencyModel). Used by the calibration-sensitivity study.
 	Latency *mem.LatencyModel
 
+	// Tracer, when non-nil, records a hierarchical span tree for every
+	// invocation (queue/sandbox/restore/exec phases) into the ring.
+	Tracer *obs.Tracer
+
 	// Engine, when non-nil, embeds the platform in an existing simulation
 	// (multi-node clusters share one virtual clock).
 	Engine *sim.Engine
@@ -143,6 +148,7 @@ type Platform struct {
 	fns     map[string]*Function
 	warm    map[string][]*core.Instance
 	metrics *Metrics
+	tracer  *obs.Tracer
 
 	lat        mem.LatencyModel
 	memGauge   sim.Gauge
@@ -189,6 +195,7 @@ func New(cfg Config) *Platform {
 		fns:        make(map[string]*Function),
 		warm:       make(map[string][]*core.Instance),
 		metrics:    NewMetrics(),
+		tracer:     cfg.Tracer,
 		sampleStep: time.Second,
 		running:    make(map[string]int),
 		waiting:    make(map[string][]*sim.Proc),
@@ -220,6 +227,36 @@ func (pl *Platform) Metrics() *Metrics { return pl.metrics }
 
 // MemoryGauge returns node DRAM usage over time (sampled).
 func (pl *Platform) MemoryGauge() *sim.Gauge { return &pl.memGauge }
+
+// SetTracer attaches (or detaches, with nil) an invocation span
+// recorder.
+func (pl *Platform) SetTracer(t *obs.Tracer) { pl.tracer = t }
+
+// Tracer returns the attached span recorder (nil when tracing is off).
+func (pl *Platform) Tracer() *obs.Tracer { return pl.tracer }
+
+// RegisterMetrics publishes the platform's full metric surface into
+// reg: invocation counters and latency histograms, node DRAM and
+// keep-alive-pool gauges, memory-pool contention, and sandbox-factory
+// reuse counters.
+func (pl *Platform) RegisterMetrics(reg *obs.Registry) {
+	pl.metrics.Register(reg)
+	reg.GaugeFunc("trenv_node_mem_used_bytes", "Node DRAM currently in use.", nil,
+		func() float64 { return float64(pl.node.Used()) })
+	reg.GaugeFunc("trenv_node_mem_peak_bytes", "Node DRAM high-water mark.", nil,
+		func() float64 { return float64(pl.node.Peak()) })
+	reg.GaugeFunc("trenv_warm_instances", "Kept-alive instances in the pool.", nil,
+		func() float64 { return float64(pl.WarmCount()) })
+	reg.GaugeFunc("trenv_active_invocations", "Invocations currently in flight.", nil,
+		func() float64 { return float64(pl.active) })
+	for _, pool := range []*mem.Pool{pl.cxl, pl.rdma, pl.tmpfs} {
+		pool.RegisterMetrics(reg)
+	}
+	reg.CounterFunc("trenv_sandboxes_created_total", "Sandboxes built from scratch by the factory.", nil,
+		pl.rt.Factory.Created)
+	reg.CounterFunc("trenv_sandboxes_repurposed_total", "Sandbox handoffs served by reuse.", nil,
+		pl.rt.Factory.Repurposed)
+}
 
 // PoolUsage returns bytes held in the CXL, RDMA, and tmpfs pools.
 func (pl *Platform) PoolUsage() (cxl, rdma, tmpfs int64) {
@@ -483,36 +520,56 @@ func (pl *Platform) leave(name string) {
 	}
 }
 
+// failInvocation counts a failed invocation and, when tracing, records
+// an error-status span covering [t0, now].
+func (pl *Platform) failInvocation(name string, t0, now time.Duration, err error) {
+	pl.metrics.Errors.Inc()
+	if pl.tracer == nil {
+		return
+	}
+	sp := obs.NewSpan("invoke/"+name, t0, now)
+	sp.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy))
+	sp.Fail(err)
+	pl.tracer.Record(sp)
+}
+
 // invoke is the full lifecycle of one invocation.
 func (pl *Platform) invoke(p *sim.Proc, name string) {
+	tArrive := p.Now()
 	fn, ok := pl.fns[name]
 	if !ok {
-		pl.metrics.Errors.Inc()
+		pl.failInvocation(name, tArrive, p.Now(), fmt.Errorf("function %q not registered", name))
 		return
 	}
 	pl.active++
 	defer func() { pl.active-- }()
 	pl.admit(p, name)
 	defer pl.leave(name)
+	// Metrics measure e2e from admission (matching the per-function
+	// scale-limit semantics); the span additionally covers queueing.
 	t0 := p.Now()
+	tAdmit := t0
 	var st core.Startup
 	in := pl.takeWarm(name)
+	tStart := tAdmit
 	if in != nil {
 		p.Sleep(pl.cfg.WarmReuse)
 		st = core.Startup{Path: core.PathWarm, Restore: pl.cfg.WarmReuse}
 	} else {
 		pl.evictForSpace(p, pl.estimateStartBytes(fn))
+		tStart = p.Now() // soft-cap eviction work ends here
 		var err error
 		in, st, err = pl.start(p, fn)
 		if err != nil {
-			pl.metrics.Errors.Inc()
+			pl.failInvocation(name, tArrive, p.Now(), err)
 			return
 		}
 	}
+	tUp := p.Now() // startup complete
 	if pl.cfg.PromoteHotAfter > 0 && in.Uses >= pl.cfg.PromoteHotAfter {
 		promoted, err := pl.rt.PromoteWorkingSet(in)
 		if err != nil {
-			pl.metrics.Errors.Inc()
+			pl.failInvocation(name, tArrive, p.Now(), err)
 			pl.release(p, in)
 			return
 		}
@@ -521,17 +578,38 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 			pl.metrics.Promotions.Inc()
 		}
 	}
+	tExec := p.Now()
 	es, err := pl.rt.Execute(p, in, core.ExecOptions{
 		CPU:             pl.cpu,
 		ContentionPools: pl.contentionPools(),
 	})
 	if err != nil {
-		pl.metrics.Errors.Inc()
+		pl.failInvocation(name, tArrive, p.Now(), err)
 		pl.release(p, in)
 		return
 	}
+	tEnd := p.Now()
 	if t0 >= pl.cfg.Warmup {
-		pl.metrics.Record(name, st, es, p.Now()-t0)
+		pl.metrics.Record(name, st, es, tEnd-t0)
+	}
+	if pl.tracer != nil {
+		root := obs.NewSpan("invoke/"+name, tArrive, tEnd)
+		root.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy)).SetAttr("path", string(st.Path))
+		if tAdmit > tArrive {
+			root.Child("queue", tArrive, tAdmit)
+		}
+		if tStart > tAdmit {
+			root.Child("evict", tAdmit, tStart)
+		}
+		root.Children = append(root.Children, core.StartupSpan(st, tStart))
+		if tExec > tUp {
+			root.Child("promote", tUp, tExec)
+		}
+		exec := root.Child("exec", tExec, tEnd)
+		if es.CPUWait > 0 {
+			exec.Child("cpu-wait", tExec, tExec+es.CPUWait)
+		}
+		pl.tracer.Record(root)
 	}
 	if pl.cfg.CleanAfterUse && fn.Img != nil {
 		// Groundhog-style: scrub the request's memory state before the

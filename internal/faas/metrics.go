@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -89,6 +90,58 @@ func (m *Metrics) Summary() string {
 	s += fmt.Sprintf("  e2e(ms): %s\n", m.All.E2E.Summary())
 	s += fmt.Sprintf("  startup(ms): %s\n", m.All.Startup.Summary())
 	return s
+}
+
+// Register publishes the run's counters and latency histograms into an
+// observability registry. Histograms export per function (label
+// function=<name>) plus the aggregate as function="_all"; series for
+// functions invoked after registration appear automatically because
+// gathering happens at scrape time.
+func (m *Metrics) Register(reg *obs.Registry) {
+	counters := []struct {
+		name, help string
+		c          *sim.Counter
+	}{
+		{"trenv_warm_hits_total", "Invocations served by a kept-alive instance.", &m.WarmHits},
+		{"trenv_cold_starts_total", "Sandboxes built from scratch.", &m.ColdStarts},
+		{"trenv_repurposes_total", "Starts served by repurposing a pooled sandbox.", &m.Repurposes},
+		{"trenv_restores_total", "CRIU / lazy memory restores.", &m.Restores},
+		{"trenv_evictions_total", "Idle instances evicted for the soft memory cap.", &m.Evictions},
+		{"trenv_queued_total", "Invocations that waited for a per-function slot.", &m.Queued},
+		{"trenv_promotions_total", "Hot working sets promoted to local DRAM.", &m.Promotions},
+		{"trenv_clean_restores_total", "Groundhog-style post-request scrubs.", &m.CleanRestores},
+		{"trenv_errors_total", "Failed invocations (unknown function, start or exec failure).", &m.Errors},
+	}
+	for _, c := range counters {
+		c := c
+		reg.CounterFunc(c.name, c.help, nil, c.c.Value)
+	}
+	reg.CounterFunc("trenv_invocations_total", "Recorded (post-warmup) invocations.", nil,
+		func() int64 { return int64(m.Invocations()) })
+	hists := []struct {
+		name, help string
+		sel        func(*FnMetrics) *sim.Histogram
+	}{
+		{"trenv_e2e_latency_ms", "End-to-end invocation latency in milliseconds.",
+			func(fm *FnMetrics) *sim.Histogram { return &fm.E2E }},
+		{"trenv_startup_latency_ms", "Instance startup latency in milliseconds.",
+			func(fm *FnMetrics) *sim.Histogram { return &fm.Startup }},
+		{"trenv_exec_latency_ms", "Function execution latency in milliseconds.",
+			func(fm *FnMetrics) *sim.Histogram { return &fm.Exec }},
+	}
+	for _, h := range hists {
+		h := h
+		reg.HistogramFunc(h.name, h.help, func() []obs.LabeledHistogram {
+			out := []obs.LabeledHistogram{{Labels: map[string]string{"function": "_all"}, Hist: h.sel(&m.All)}}
+			for _, name := range m.Functions() {
+				out = append(out, obs.LabeledHistogram{
+					Labels: map[string]string{"function": name},
+					Hist:   h.sel(m.PerFn[name]),
+				})
+			}
+			return out
+		})
+	}
 }
 
 // FnExport is a serializable per-function summary.

@@ -1,0 +1,147 @@
+package faas
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// tracedRun executes the same small workload under one seed with a
+// tracer attached and returns the platform and its recorded spans.
+func tracedRun(t *testing.T, seed int64) (*Platform, []*obs.Span) {
+	t.Helper()
+	cfg := DefaultConfig(PolicyTrEnvCXL)
+	cfg.Seed = seed
+	cfg.Tracer = obs.NewTracer(0)
+	pl := New(cfg)
+	for _, p := range workload.Table4() {
+		if err := pl.Register(p); err != nil {
+			t.Fatalf("register %s: %v", p.Name, err)
+		}
+	}
+	pl.RunTrace(smallTrace(seed))
+	return pl, cfg.Tracer.Spans()
+}
+
+func TestTraceByteIdenticalAcrossSameSeedRuns(t *testing.T) {
+	_, a := tracedRun(t, 7)
+	_, b := tracedRun(t, 7)
+	if len(a) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	var chromeA, chromeB, jsonlA, jsonlB bytes.Buffer
+	if err := obs.WriteChromeTrace(&chromeA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(&chromeB, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chromeA.Bytes(), chromeB.Bytes()) {
+		t.Fatal("Chrome trace differs across identical-seed runs")
+	}
+	if err := obs.WriteJSONL(&jsonlA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteJSONL(&jsonlB, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonlA.Bytes(), jsonlB.Bytes()) {
+		t.Fatal("JSONL trace differs across identical-seed runs")
+	}
+}
+
+func TestSpanPhasesTileTheInvocation(t *testing.T) {
+	_, spans := tracedRun(t, 3)
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	for _, root := range spans {
+		if root.Error != "" {
+			continue
+		}
+		// queue/evict/startup/promote/exec tile [root.Start, root.End].
+		if got, want := root.ChildrenTotal(), root.Duration(); got != want {
+			t.Fatalf("span %s: children total %v != duration %v", root.Name, got, want)
+		}
+		// The startup subtree decomposes exactly too.
+		for _, c := range root.Children {
+			if c.Name != "startup" {
+				continue
+			}
+			if got, want := c.ChildrenTotal(), c.Duration(); got != want {
+				t.Fatalf("startup children total %v != startup duration %v", got, want)
+			}
+		}
+	}
+}
+
+func TestStartupSpansSumToReportedStartupTotals(t *testing.T) {
+	pl, spans := tracedRun(t, 5)
+	spanSum := obs.SumDurations(spans, "startup")
+	// Metrics store startup in float ms; compare with a float tolerance.
+	histSumMs := pl.Metrics().All.Startup.Sum()
+	spanSumMs := float64(spanSum) / float64(time.Millisecond)
+	if math.Abs(histSumMs-spanSumMs) > 1e-6*math.Max(1, histSumMs) {
+		t.Fatalf("startup spans sum to %.6fms, metrics report %.6fms", spanSumMs, histSumMs)
+	}
+}
+
+func TestFailedInvocationRecordsErrorSpanAndCounter(t *testing.T) {
+	cfg := DefaultConfig(PolicyFaasd)
+	cfg.Tracer = obs.NewTracer(0)
+	pl := New(cfg)
+	pl.Invoke(0, "nope")
+	pl.Engine().Run()
+	if got := pl.Metrics().Errors.Value(); got != 1 {
+		t.Fatalf("errors = %d, want 1", got)
+	}
+	spans := cfg.Tracer.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "invoke/nope" || sp.Error == "" {
+		t.Fatalf("error span = %+v, want invoke/nope with error status", sp)
+	}
+	if sp.Attrs["function"] != "nope" {
+		t.Fatalf("error span attrs = %v", sp.Attrs)
+	}
+}
+
+func TestRegisterMetricsExportsPrometheus(t *testing.T) {
+	pl, _ := tracedRun(t, 2)
+	reg := obs.NewRegistry()
+	pl.RegisterMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE trenv_warm_hits_total counter",
+		"# TYPE trenv_e2e_latency_ms summary",
+		"# TYPE trenv_startup_latency_ms summary",
+		`trenv_e2e_latency_ms{function="_all",quantile="0.5"}`,
+		"trenv_invocations_total",
+		"trenv_node_mem_peak_bytes",
+		`trenv_pool_used_bytes{pool="cxl"}`,
+		"trenv_sandboxes_repurposed_total",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("Prometheus export missing %q:\n%s", want, out)
+		}
+	}
+	// Scrapes are deterministic for a fixed simulation state.
+	var again bytes.Buffer
+	if err := reg.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two scrapes of the same state differ")
+	}
+}

@@ -1,0 +1,21 @@
+package mem
+
+import "repro/internal/obs"
+
+// RegisterMetrics publishes the pool's usage and fetch-contention
+// series into reg, labeled by the pool's backend kind. Registering the
+// same pool (or another pool of the same kind) into one registry twice
+// produces duplicate series — register each pool once.
+func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	labels := map[string]string{"pool": p.kind.String()}
+	reg.GaugeFunc("trenv_pool_used_bytes", "Bytes held in the memory pool.", labels,
+		func() float64 { return float64(p.tracker.Used()) })
+	reg.GaugeFunc("trenv_pool_peak_bytes", "Memory pool high-water mark.", labels,
+		func() float64 { return float64(p.tracker.Peak()) })
+	reg.GaugeFunc("trenv_pool_outstanding_fetches", "Fetch batches currently in flight (contention).", labels,
+		func() float64 { return float64(p.outstanding) })
+	reg.CounterFunc("trenv_pool_fetches_total", "Fetch batches served by the pool.", labels,
+		func() int64 { return p.fetches })
+	reg.CounterFunc("trenv_pool_fetch_cliffs_total", "Fetch batches that hit the tail-latency cliff.", labels,
+		func() int64 { return p.cliffs })
+}

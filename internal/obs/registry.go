@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Registry is a pull-based metrics registry: components register
+// counters, gauges, and histograms once, and every export gathers the
+// current values. Values come from closures (or live sim.Histogram
+// references), so instrumented code keeps using the repo's existing
+// sim.Counter / sim.Histogram types unchanged.
+type Registry struct {
+	families map[string]*family
+}
+
+type familyKind string
+
+const (
+	kindCounter familyKind = "counter"
+	kindGauge   familyKind = "gauge"
+	kindSummary familyKind = "summary"
+)
+
+type family struct {
+	name   string
+	help   string
+	kind   familyKind
+	series []series
+	// gather, for dynamic families, yields label→histogram pairs at
+	// export time (per-function histograms appear as they are created).
+	gather func() []LabeledHistogram
+}
+
+type series struct {
+	labels map[string]string
+	value  func() float64
+	hist   *sim.Histogram
+}
+
+// LabeledHistogram pairs a label set with a live histogram, for
+// dynamic families whose series appear during the run.
+type LabeledHistogram struct {
+	Labels map[string]string
+	Hist   *sim.Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}
+
+func (r *Registry) familyFor(name, help string, kind familyKind) *family {
+	checkName(name)
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// CounterFunc registers a monotonically-increasing value read at export
+// time. Registering the same name again with different labels adds a
+// series to the family.
+func (r *Registry) CounterFunc(name, help string, labels map[string]string, fn func() int64) {
+	f := r.familyFor(name, help, kindCounter)
+	f.series = append(f.series, series{labels: labels, value: func() float64 { return float64(fn()) }})
+}
+
+// GaugeFunc registers an instantaneous value read at export time.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	f := r.familyFor(name, help, kindGauge)
+	f.series = append(f.series, series{labels: labels, value: fn})
+}
+
+// Histogram registers a live histogram, exported as a Prometheus
+// summary (quantiles + _sum + _count).
+func (r *Registry) Histogram(name, help string, labels map[string]string, h *sim.Histogram) {
+	f := r.familyFor(name, help, kindSummary)
+	f.series = append(f.series, series{labels: labels, hist: h})
+}
+
+// HistogramFunc registers a dynamic summary family whose series are
+// gathered at export time — per-function histograms that only exist
+// once the function has been invoked.
+func (r *Registry) HistogramFunc(name, help string, gather func() []LabeledHistogram) {
+	f := r.familyFor(name, help, kindSummary)
+	if f.gather != nil {
+		panic(fmt.Sprintf("obs: metric %q already has a gather func", name))
+	}
+	f.gather = gather
+}
+
+// summaryQuantiles are the quantiles exported for every histogram.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+func formatValue(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// renderLabels returns `{k="v",...}` with sorted keys ("" when empty).
+// extra, if non-empty, is appended verbatim as the last pair.
+func renderLabels(labels map[string]string, extra string) string {
+	var pairs []string
+	for k, v := range labels {
+		checkName(k)
+		pairs = append(pairs, fmt.Sprintf("%s=%q", k, escapeLabel(v)))
+	}
+	sort.Strings(pairs)
+	if extra != "" {
+		pairs = append(pairs, extra)
+	}
+	if len(pairs) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// WritePrometheus writes every registered family in Prometheus
+// text-format (version 0.0.4). Families and series are sorted, so the
+// output for a fixed simulation state is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.families[n]
+		ss := append([]series(nil), f.series...)
+		if f.gather != nil {
+			for _, lh := range f.gather() {
+				ss = append(ss, series{labels: lh.Labels, hist: lh.Hist})
+			}
+		}
+		type rendered struct {
+			key   string
+			lines []string
+		}
+		rows := make([]rendered, 0, len(ss))
+		for _, s := range ss {
+			base := renderLabels(s.labels, "")
+			var lines []string
+			switch f.kind {
+			case kindCounter, kindGauge:
+				lines = append(lines, fmt.Sprintf("%s%s %s", f.name, base, formatValue(s.value())))
+			case kindSummary:
+				for _, q := range summaryQuantiles {
+					ql := renderLabels(s.labels, fmt.Sprintf("quantile=%q", formatValue(q)))
+					lines = append(lines, fmt.Sprintf("%s%s %s", f.name, ql, formatValue(s.hist.Percentile(q*100))))
+				}
+				lines = append(lines,
+					fmt.Sprintf("%s_sum%s %s", f.name, base, formatValue(s.hist.Sum())),
+					fmt.Sprintf("%s_count%s %s", f.name, base, strconv.Itoa(s.hist.N())))
+			}
+			rows = append(rows, rendered{key: base, lines: lines})
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, row := range rows {
+			for _, line := range row.lines {
+				if _, err := io.WriteString(w, line+"\n"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package obs is the observability layer for the simulated TrEnv stack:
+// hierarchical spans over virtual time, a pull-based metrics registry
+// with Prometheus text-format export, and trace exporters (Chrome
+// trace-event JSON, streaming JSONL).
+//
+// Everything is virtual-time-aware: spans carry time.Duration offsets
+// from the simulation epoch, not wall-clock timestamps, so a fixed seed
+// produces byte-identical exports across runs.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed phase of an operation in virtual time. A root span
+// (an invocation, an agent run) owns a tree of child phases whose
+// durations decompose the parent's.
+type Span struct {
+	Name  string
+	Start time.Duration // virtual-time offset of the phase start
+	End   time.Duration // virtual-time offset of the phase end
+	// Attrs carry small key/value annotations (function, policy, path).
+	Attrs map[string]string
+	// Error is the failure description ("" = success).
+	Error    string
+	Children []*Span
+}
+
+// NewSpan returns a span covering [start, end].
+func NewSpan(name string, start, end time.Duration) *Span {
+	if end < start {
+		panic(fmt.Sprintf("obs: span %q ends (%v) before it starts (%v)", name, end, start))
+	}
+	return &Span{Name: name, Start: start, End: end}
+}
+
+// Duration returns the span's length.
+func (s *Span) Duration() time.Duration { return s.End - s.Start }
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(k, v string) *Span {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[k] = v
+	return s
+}
+
+// Child appends a child phase covering [start, end] and returns it.
+func (s *Span) Child(name string, start, end time.Duration) *Span {
+	c := NewSpan(name, start, end)
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Fail marks the span failed.
+func (s *Span) Fail(err error) *Span {
+	if err != nil {
+		s.Error = err.Error()
+	}
+	return s
+}
+
+// Walk visits the span and its subtree depth-first, parents before
+// children, in recorded order.
+func (s *Span) Walk(fn func(depth int, sp *Span)) {
+	var rec func(d int, sp *Span)
+	rec = func(d int, sp *Span) {
+		fn(d, sp)
+		for _, c := range sp.Children {
+			rec(d+1, c)
+		}
+	}
+	rec(0, s)
+}
+
+// ChildrenTotal sums the direct children's durations — phase
+// decompositions keep this equal to the parent's own duration.
+func (s *Span) ChildrenTotal() time.Duration {
+	var t time.Duration
+	for _, c := range s.Children {
+		t += c.Duration()
+	}
+	return t
+}
+
+// String renders the span tree, one line per phase.
+func (s *Span) String() string {
+	var b strings.Builder
+	s.Walk(func(d int, sp *Span) {
+		fmt.Fprintf(&b, "%s%-20s %12v +%v", strings.Repeat("  ", d), sp.Name, sp.Start, sp.Duration())
+		if sp.Error != "" {
+			fmt.Fprintf(&b, "  ERROR: %s", sp.Error)
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// Tracer collects completed root spans into a bounded ring (oldest
+// dropped first) and optionally streams each one as a JSONL record.
+// It is safe for concurrent use, though the simulation itself records
+// from a single goroutine at a time.
+type Tracer struct {
+	mu      sync.Mutex
+	roots   []*Span // circular once len == max
+	head    int     // index of the oldest retained root
+	max     int
+	dropped int64
+	stream  io.Writer
+}
+
+// DefaultTracerCapacity bounds a tracer built with capacity <= 0.
+const DefaultTracerCapacity = 4096
+
+// NewTracer keeps at most max root spans (<= 0 means
+// DefaultTracerCapacity).
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = DefaultTracerCapacity
+	}
+	return &Tracer{max: max}
+}
+
+// StreamTo additionally writes every recorded root span as one JSON
+// line to w (nil detaches).
+func (t *Tracer) StreamTo(w io.Writer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stream = w
+}
+
+// Record retains a completed root span.
+func (t *Tracer) Record(root *Span) {
+	if root == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.roots) < t.max {
+		t.roots = append(t.roots, root)
+	} else {
+		t.roots[t.head] = root
+		t.head = (t.head + 1) % t.max
+		t.dropped++
+	}
+	if t.stream != nil {
+		enc := json.NewEncoder(t.stream)
+		enc.Encode(spanToJSON(root)) //nolint:errcheck // best-effort stream
+	}
+}
+
+// Spans returns the retained root spans, oldest first.
+func (t *Tracer) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, len(t.roots))
+	out = append(out, t.roots[t.head:]...)
+	out = append(out, t.roots[:t.head]...)
+	return out
+}
+
+// Last returns the most recent n root spans, oldest first (n <= 0 or
+// n > retained means all).
+func (t *Tracer) Last(n int) []*Span {
+	all := t.Spans()
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
+// Len returns how many root spans are retained.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.roots)
+}
+
+// Dropped returns how many root spans aged out of the ring.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// spanJSON is the serialized span shape shared by the JSONL stream and
+// WriteJSONL. Map attrs serialize with sorted keys, keeping output
+// deterministic.
+type spanJSON struct {
+	Name     string            `json:"name"`
+	StartUs  float64           `json:"start_us"`
+	DurUs    float64           `json:"dur_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Children []spanJSON        `json:"children,omitempty"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+func spanToJSON(s *Span) spanJSON {
+	out := spanJSON{
+		Name:    s.Name,
+		StartUs: micros(s.Start),
+		DurUs:   micros(s.Duration()),
+		Attrs:   s.Attrs,
+		Error:   s.Error,
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, spanToJSON(c))
+	}
+	return out
+}
+
+// WriteJSONL writes one JSON line per root span.
+func WriteJSONL(w io.Writer, roots []*Span) error {
+	enc := json.NewEncoder(w)
+	for _, r := range roots {
+		if err := enc.Encode(spanToJSON(r)); err != nil {
+			return fmt.Errorf("obs: write jsonl: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Percentile edge cases pinned down explicitly: the empty histogram, a
+// single sample, and linear interpolation between closest ranks.
+
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := &Histogram{}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	if h.N() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram: N=%d Sum=%v Mean=%v", h.N(), h.Sum(), h.Mean())
+	}
+}
+
+func TestHistogramPercentileSingleSample(t *testing.T) {
+	h := &Histogram{}
+	h.Add(42)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Fatalf("single-sample Percentile(%v) = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestHistogramPercentileInterpolation(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Add(v)
+	}
+	// p50 sits halfway between the 2nd and 3rd of four samples.
+	if got := h.Percentile(50); got != 2.5 {
+		t.Fatalf("p50 of [1,2,3,4] = %v, want 2.5", got)
+	}
+
+	big := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		big.Add(float64(i))
+	}
+	// rank = p/100*(n-1): p99 of 1..100 interpolates 99/100 of the way
+	// from 99 to 100.
+	if got := big.Percentile(99); got < 99.0 || got > 100.0 {
+		t.Fatalf("p99 of 1..100 = %v, want within [99,100]", got)
+	}
+	if got, want := big.Percentile(99), 99.01; absDiff(got, want) > 1e-9 {
+		t.Fatalf("p99 of 1..100 = %v, want %v", got, want)
+	}
+	if got := big.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := big.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v, want 100", got)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TraceLog ring: wrap-around ordering and drop accounting after the
+// O(1) circular-buffer rewrite.
+
+func TestTraceLogWrapOrderingAndDrops(t *testing.T) {
+	l := NewTraceLog(4)
+	for i := 0; i < 10; i++ {
+		l.Record(time.Duration(i)*time.Millisecond, "resume", "p")
+	}
+	if got := l.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	got := l.Entries()
+	if len(got) != 4 {
+		t.Fatalf("retained %d entries, want 4", len(got))
+	}
+	for i, e := range got {
+		want := time.Duration(6+i) * time.Millisecond
+		if e.At != want {
+			t.Fatalf("entry %d at %v, want %v (oldest-first order broken)", i, e.At, want)
+		}
+	}
+}
+
+func TestTraceLogBelowCapacityNoDrops(t *testing.T) {
+	l := NewTraceLog(8)
+	for i := 0; i < 5; i++ {
+		l.Record(time.Duration(i), "callback", "after")
+	}
+	if l.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", l.Dropped())
+	}
+	got := l.Entries()
+	if len(got) != 5 {
+		t.Fatalf("retained %d entries, want 5", len(got))
+	}
+	for i, e := range got {
+		if e.At != time.Duration(i) {
+			t.Fatalf("entry %d at %v, want %v", i, e.At, time.Duration(i))
+		}
+	}
+}
+
+func TestTraceLogWrapManyTimes(t *testing.T) {
+	l := NewTraceLog(3)
+	const n = 100
+	for i := 0; i < n; i++ {
+		l.Record(time.Duration(i), "spawn", "p")
+	}
+	if got := l.Dropped(); got != n-3 {
+		t.Fatalf("dropped = %d, want %d", got, n-3)
+	}
+	got := l.Entries()
+	for i, e := range got {
+		if want := time.Duration(n - 3 + i); e.At != want {
+			t.Fatalf("entry %d at %v, want %v", i, e.At, want)
+		}
+	}
+}
+
+func TestTraceLogStringMentionsDrops(t *testing.T) {
+	l := NewTraceLog(2)
+	for i := 0; i < 5; i++ {
+		l.Record(time.Duration(i), "resume", "p")
+	}
+	s := l.String()
+	if want := "3 earlier events dropped"; !strings.Contains(s, want) {
+		t.Fatalf("String() = %q, want mention of %q", s, want)
+	}
+}

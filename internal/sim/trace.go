@@ -20,8 +20,10 @@ func (e TraceEntry) String() string {
 
 // TraceLog is a bounded ring of scheduler events, attached to an engine
 // with SetTracer to debug simulations (who ran when, in what order).
+// Once full it overwrites the oldest entry in place (O(1) per event).
 type TraceLog struct {
 	entries []TraceEntry
+	head    int // index of the oldest retained entry once full
 	max     int
 	dropped int64
 }
@@ -36,16 +38,23 @@ func NewTraceLog(max int) *TraceLog {
 
 // Record appends an event.
 func (l *TraceLog) Record(at time.Duration, kind, name string) {
-	if len(l.entries) == l.max {
-		copy(l.entries, l.entries[1:])
-		l.entries = l.entries[:l.max-1]
-		l.dropped++
+	e := TraceEntry{At: at, Kind: kind, Name: name}
+	if len(l.entries) < l.max {
+		l.entries = append(l.entries, e)
+		return
 	}
-	l.entries = append(l.entries, TraceEntry{At: at, Kind: kind, Name: name})
+	l.entries[l.head] = e
+	l.head = (l.head + 1) % l.max
+	l.dropped++
 }
 
-// Entries returns the retained events in order.
-func (l *TraceLog) Entries() []TraceEntry { return l.entries }
+// Entries returns the retained events, oldest first.
+func (l *TraceLog) Entries() []TraceEntry {
+	out := make([]TraceEntry, 0, len(l.entries))
+	out = append(out, l.entries[l.head:]...)
+	out = append(out, l.entries[:l.head]...)
+	return out
+}
 
 // Dropped returns how many events aged out of the ring.
 func (l *TraceLog) Dropped() int64 { return l.dropped }
@@ -56,7 +65,7 @@ func (l *TraceLog) String() string {
 	if l.dropped > 0 {
 		fmt.Fprintf(&b, "... %d earlier events dropped ...\n", l.dropped)
 	}
-	for _, e := range l.entries {
+	for _, e := range l.Entries() {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
 	}

@@ -10,12 +10,37 @@ import (
 	"repro/internal/pagetable"
 )
 
+// Breakdown itemizes where a restore path's latency went, the memory
+// half of the paper's Fig. 4 startup decomposition. Components the path
+// did not exercise stay zero (e.g. Attach for full-copy restores).
+type Breakdown struct {
+	// Orchestration is restore-engine setup: CRIU fork + image parsing,
+	// TrEnv's repurpose request, or userfaultfd registration.
+	Orchestration time.Duration
+	// Mmap is recreating the VMAs.
+	Mmap time.Duration
+	// Copy is moving memory contents (full image or eager working set),
+	// including any concurrent-restore sharing surcharge.
+	Copy time.Duration
+	// Attach is the mm-template metadata copy.
+	Attach time.Duration
+	// Procs is rebuilding the process tree (thread clones, fd reopens).
+	Procs time.Duration
+}
+
+// Total sums the components.
+func (b Breakdown) Total() time.Duration {
+	return b.Orchestration + b.Mmap + b.Copy + b.Attach + b.Procs
+}
+
 // Restored is the outcome of a restore: one address space per process and
 // the startup latency the restore path incurred.
 type Restored struct {
 	Snapshot *Snapshot
 	Spaces   []*pagetable.AddressSpace
 	Latency  time.Duration
+	// BD decomposes Latency by phase; BD.Total() == Latency.
+	BD Breakdown
 }
 
 // Region finds a region by name across the restored processes.
@@ -84,14 +109,23 @@ func RestoreFullCopy(snap *Snapshot, tracker *mem.Tracker, lat mem.LatencyModel,
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: full-copy restore of %q: %w", snap.Function, err)
 	}
-	d := costs.CRIUOrchestration +
-		time.Duration(regions)*costs.MmapPerRegion +
-		lat.CopyCost(snap.MemBytes())
+	bd := Breakdown{
+		Orchestration: costs.CRIUOrchestration,
+		Mmap:          time.Duration(regions) * costs.MmapPerRegion,
+		Copy:          lat.CopyCost(snap.MemBytes()),
+		Procs:         procRestoreCost(snap, costs),
+	}
+	return &Restored{Snapshot: snap, Spaces: spaces, Latency: bd.Total(), BD: bd}, nil
+}
+
+// procRestoreCost totals the per-thread clone and per-fd reopen costs.
+func procRestoreCost(snap *Snapshot, costs Costs) time.Duration {
+	var d time.Duration
 	for pi := range snap.Procs {
 		d += time.Duration(snap.Procs[pi].Threads) * costs.ThreadClone
 		d += time.Duration(snap.Procs[pi].FDs) * costs.FDRestore
 	}
-	return &Restored{Snapshot: snap, Spaces: spaces, Latency: d}, nil
+	return d
 }
 
 // LazyConfig tunes the REAP/FaaSnap-style restore paths.
@@ -188,15 +222,13 @@ func RestoreLazy(rng *rand.Rand, snap *Snapshot, tracker *mem.Tracker, tmpfs *me
 	if sharing > 8 {
 		sharing = 8 // the medium has parallelism; degradation saturates
 	}
-	d := costs.CRIUOrchestration +
-		time.Duration(regions)*costs.MmapPerRegion +
-		costs.UffdSetup +
-		time.Duration(float64(eagerBytes)/costs.TmpfsBandwidth*float64(time.Second)*sharing)
-	for pi := range snap.Procs {
-		d += time.Duration(snap.Procs[pi].Threads) * costs.ThreadClone
-		d += time.Duration(snap.Procs[pi].FDs) * costs.FDRestore
+	bd := Breakdown{
+		Orchestration: costs.CRIUOrchestration + costs.UffdSetup,
+		Mmap:          time.Duration(regions) * costs.MmapPerRegion,
+		Copy:          time.Duration(float64(eagerBytes) / costs.TmpfsBandwidth * float64(time.Second) * sharing),
+		Procs:         procRestoreCost(snap, costs),
 	}
-	return &Restored{Snapshot: snap, Spaces: spaces, Latency: d}, nil
+	return &Restored{Snapshot: snap, Spaces: spaces, Latency: bd.Total(), BD: bd}, nil
 }
 
 // RestoreTemplate performs TrEnv's restore: join the repurposed sandbox
@@ -204,7 +236,8 @@ func RestoreLazy(rng *rand.Rand, snap *Snapshot, tracker *mem.Tracker, tmpfs *me
 // image pages stay in the pool until CoW or lazy touch.
 func RestoreTemplate(img *Image, tracker *mem.Tracker, lat mem.LatencyModel, attach mmtemplate.CostModel, costs Costs) (*Restored, error) {
 	snap := img.Snapshot
-	res := &Restored{Snapshot: snap, Latency: costs.RepurposeOrchestration}
+	res := &Restored{Snapshot: snap}
+	bd := Breakdown{Orchestration: costs.RepurposeOrchestration}
 	for pi, tpl := range img.Templates {
 		as, d, err := tpl.Attach(tracker, lat, attach)
 		if err != nil {
@@ -212,9 +245,11 @@ func RestoreTemplate(img *Image, tracker *mem.Tracker, lat mem.LatencyModel, att
 			return nil, fmt.Errorf("snapshot: template restore of %q: %w", snap.Function, err)
 		}
 		res.Spaces = append(res.Spaces, as)
-		res.Latency += d
-		res.Latency += time.Duration(snap.Procs[pi].Threads) * costs.ThreadClone
-		res.Latency += time.Duration(snap.Procs[pi].FDs) * costs.FDRestore
+		bd.Attach += d
+		bd.Procs += time.Duration(snap.Procs[pi].Threads) * costs.ThreadClone
+		bd.Procs += time.Duration(snap.Procs[pi].FDs) * costs.FDRestore
 	}
+	res.Latency = bd.Total()
+	res.BD = bd
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -24,6 +25,9 @@ type Config struct {
 	// startup milliseconds for the removal of per-step EPT-fault VM
 	// exits during execution (§8.1.3).
 	PrePopulateEPT bool
+	// Tracer, when non-nil, records a span tree per agent run (VM
+	// startup plus every llm/tool/browser/fileio step).
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the §9.6 testbed shape for a policy.
@@ -306,10 +310,18 @@ func (pl *Platform) runAgent(p *sim.Proc, prof agent.Profile) {
 	t0 := p.Now()
 	startup, vmBytes := pl.startVM(p, prof)
 
+	var root *obs.Span
+	if pl.cfg.Tracer != nil {
+		root = obs.NewSpan("agent/"+prof.Name, t0, t0)
+		root.SetAttr("agent", prof.Name).SetAttr("policy", string(pl.cfg.Policy))
+		root.Child("startup", t0, t0+startup)
+	}
+
 	var dynBytes, cacheBytes, readSoFar int64
 	var browserOps *sim.Resource
 	var releaseBrowser func()
 	for _, s := range prof.Steps {
+		stepStart := p.Now()
 		switch s.Kind {
 		case agent.LLMCall:
 			pl.llm.Serve(p, s)
@@ -343,6 +355,12 @@ func (pl *Platform) runAgent(p *sim.Proc, prof agent.Profile) {
 		}
 		cacheBytes += pl.chargeFileRead(p, prof, readSoFar, s.FileBytes)
 		readSoFar += s.FileBytes
+		if root != nil {
+			sp := root.Child(s.Kind.String(), stepStart, p.Now())
+			for k, v := range s.SpanAttrs() {
+				sp.SetAttr(k, v)
+			}
+		}
 	}
 	e2e := p.Now() - t0
 
@@ -360,6 +378,43 @@ func (pl *Platform) runAgent(p *sim.Proc, prof agent.Profile) {
 	m := pl.Metrics(prof.Name)
 	m.Startup.AddDuration(startup)
 	m.E2E.AddDuration(e2e)
+	if root != nil {
+		root.End = p.Now()
+		pl.cfg.Tracer.Record(root)
+	}
+}
+
+// RegisterMetrics publishes the agent platform's metric surface into
+// reg: per-agent startup/e2e histograms, lifecycle counters, and node
+// memory gauges.
+func (pl *Platform) RegisterMetrics(reg *obs.Registry) {
+	hists := []struct {
+		name, help string
+		sel        func(*AgentMetrics) *sim.Histogram
+	}{
+		{"trenv_agent_startup_latency_ms", "Agent VM startup latency in milliseconds.",
+			func(m *AgentMetrics) *sim.Histogram { return &m.Startup }},
+		{"trenv_agent_e2e_latency_ms", "Agent run end-to-end latency in milliseconds.",
+			func(m *AgentMetrics) *sim.Histogram { return &m.E2E }},
+	}
+	for _, h := range hists {
+		h := h
+		reg.HistogramFunc(h.name, h.help, func() []obs.LabeledHistogram {
+			var out []obs.LabeledHistogram
+			for _, name := range pl.AgentNames() {
+				out = append(out, obs.LabeledHistogram{
+					Labels: map[string]string{"agent": name},
+					Hist:   h.sel(pl.perFn[name]),
+				})
+			}
+			return out
+		})
+	}
+	reg.CounterFunc("trenv_agent_runs_total", "Completed agent runs.", nil, pl.runs.Value)
+	reg.CounterFunc("trenv_agent_repurposes_total", "VM starts served from the sandbox pool.", nil, pl.repurposed.Value)
+	reg.CounterFunc("trenv_agent_builds_total", "VM starts that built a sandbox from scratch.", nil, pl.built.Value)
+	reg.GaugeFunc("trenv_agent_node_mem_used_bytes", "Agent node DRAM currently in use.", nil,
+		func() float64 { return float64(pl.node.Used()) })
 }
 
 // Repurposed / Built report how TrEnv starts were served.

@@ -43,6 +43,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
+	"repro/internal/obs"
 	"repro/internal/pagetable"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -280,6 +281,33 @@ func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
 
 // Histogram collects latency samples with exact percentiles.
 type Histogram = sim.Histogram
+
+// ---------------------------------------------------------------------
+// Observability (spans, metrics, exporters).
+
+// Span is one node of an invocation trace tree over virtual time.
+type Span = obs.Span
+
+// Tracer collects root spans into a bounded ring.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer keeping the most recent max root spans
+// (0 selects the default capacity).
+func NewTracer(max int) *Tracer { return obs.NewTracer(max) }
+
+// MetricsRegistry gathers counters, gauges, and histograms for
+// Prometheus text-format export.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteChromeTrace renders root spans as Chrome trace-event JSON
+// (loadable in chrome://tracing or Perfetto).
+func WriteChromeTrace(w io.Writer, roots []*Span) error { return obs.WriteChromeTrace(w, roots) }
+
+// WriteSpansJSONL streams root spans as one JSON object per line.
+func WriteSpansJSONL(w io.Writer, roots []*Span) error { return obs.WriteJSONL(w, roots) }
 
 // ---------------------------------------------------------------------
 // Experiment harness (every table and figure of the evaluation).
