@@ -4,12 +4,15 @@
 // Usage:
 //
 //	trenv-bench [-exp table1,fig17,...|all] [-seed N] [-scale F]
-//	            [-json] [-trace out.json]
+//	            [-json] [-trace out.json] [-timeseries out.json]
 //
 // -json prints the results as a JSON array instead of paper-style text;
 // -trace collects every invocation's span tree during the runs and
 // writes them as Chrome trace-event JSON (open in chrome://tracing or
-// Perfetto).
+// Perfetto); -timeseries samples the trace-driven figure runs into
+// utilization-over-time series and writes them as JSON (or CSV when
+// the filename ends in .csv). Same-seed runs write byte-identical
+// time-series files.
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	out := flag.String("out", "", "also write the output to this file")
 	tracePath := flag.String("trace", "", "write invocation spans as Chrome trace JSON to this file")
+	tsPath := flag.String("timeseries", "", "write per-run metric time series to this file (.csv for CSV, else JSON)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	flag.Parse()
 
@@ -54,6 +58,9 @@ func main() {
 	o := experiments.Options{Seed: *seed, Scale: *scale}
 	if *tracePath != "" {
 		o.Tracer = obs.NewTracer(0)
+	}
+	if *tsPath != "" {
+		o.Recorders = obs.NewRecorderSet(0, 0)
 	}
 	var ids []string
 	if *exp == "all" {
@@ -102,5 +109,27 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trenv-bench: wrote %d spans (%d dropped) to %s\n",
 			o.Tracer.Len(), o.Tracer.Dropped(), *tracePath)
+	}
+	if *tsPath != "" {
+		f, err := os.Create(*tsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: %v\n", err)
+			os.Exit(1)
+		}
+		write := o.Recorders.WriteJSON
+		if strings.HasSuffix(*tsPath, ".csv") {
+			write = o.Recorders.WriteCSV
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trenv-bench: write timeseries: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: close timeseries: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trenv-bench: wrote time series for %d runs to %s\n",
+			o.Recorders.Runs(), *tsPath)
 	}
 }

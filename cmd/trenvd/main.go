@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	trenvd [-addr :8080] [-policy trenv-cxl] [-seed 1]
+//	trenvd [-addr :8080] [-policy trenv-cxl] [-seed 1] [-node n0]
+//	       [-slo-target-ms 0] [-slo-objective 0.99] [-sample-ms 100]
+//
+// -node labels every exported series (node="n0") so several trenvd
+// instances can be scraped into one fleet view; -slo-target-ms enables
+// SLO burn-rate tracking; -sample-ms sets the flight-recorder sampling
+// interval in virtual milliseconds.
 //
 // Endpoints:
 //
@@ -14,6 +20,7 @@
 //	POST /invoke               {"function":"JS","count":5,"spacing_ms":100}
 //	GET  /stats                aggregate + per-function metrics
 //	GET  /metrics              Prometheus text-format metrics
+//	GET  /timeseries           flight-recorder series (?format=csv for CSV)
 //	GET  /trace?last=N         Chrome trace JSON of the last N invocations
 //	GET  /experiments          list experiment IDs
 //	POST /experiments/run      {"id":"fig23","scale":0.2} regenerate one
@@ -39,23 +46,49 @@ type server struct {
 	platform *trenv.ContainerPlatform
 	tracer   *trenv.Tracer
 	registry *trenv.MetricsRegistry
+	recorder *trenv.FlightRecorder
+	recEvery time.Duration
 	deployed map[string]bool
 	now      time.Duration // virtual time high-water mark
 }
 
+// serverOptions parameterize the control plane beyond policy and seed.
+type serverOptions struct {
+	policy       trenv.ContainerPolicy
+	seed         int64
+	node         string        // node label on every series ("" = unlabeled)
+	sloTarget    time.Duration // > 0 enables SLO burn-rate tracking
+	sloObjective float64
+	sampleEvery  time.Duration // flight-recorder interval (<= 0 = default)
+}
+
 // newServer builds the control plane over a fresh simulated platform.
 func newServer(policy trenv.ContainerPolicy, seed int64) *server {
-	cfg := trenv.DefaultContainerConfig(policy)
-	cfg.Seed = seed
+	return newServerWith(serverOptions{policy: policy, seed: seed})
+}
+
+func newServerWith(o serverOptions) *server {
+	cfg := trenv.DefaultContainerConfig(o.policy)
+	cfg.Seed = o.seed
+	cfg.SLOTarget = o.sloTarget
+	cfg.SLOObjective = o.sloObjective
 	tracer := trenv.NewTracer(0)
 	cfg.Tracer = tracer
 	pl := trenv.NewContainerPlatform(cfg)
+	var labels map[string]string
+	if o.node != "" {
+		labels = map[string]string{"node": o.node}
+	}
 	reg := trenv.NewMetricsRegistry()
-	pl.RegisterMetrics(reg)
+	pl.RegisterMetricsLabeled(reg, labels)
+	trenv.RegisterSchedulerTraceLog(reg, labels, pl.Engine().AttachTraceLog(4096))
+	trenv.RegisterTracerDrops(reg, labels, tracer)
 	return &server{
 		platform: pl,
 		tracer:   tracer,
 		registry: reg,
+		recorder: trenv.NewFlightRecorder(reg, 0),
+		recEvery: o.sampleEvery,
 		deployed: make(map[string]bool),
 	}
 }
@@ -74,6 +107,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/stats", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("/metrics", methodNotAllowed("GET"))
+	mux.HandleFunc("GET /timeseries", s.timeseries)
+	mux.HandleFunc("/timeseries", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /trace", s.trace)
 	mux.HandleFunc("/trace", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /experiments", s.listExperiments)
@@ -97,9 +132,20 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	policy := flag.String("policy", string(trenv.TrEnvCXL), "platform policy")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	node := flag.String("node", "", "node label stamped on every exported series")
+	sloTargetMS := flag.Int("slo-target-ms", 0, "per-invocation latency SLO target in ms (0 disables SLO tracking)")
+	sloObjective := flag.Float64("slo-objective", 0, "fraction of invocations that must meet the target (default 0.99)")
+	sampleMS := flag.Int("sample-ms", 0, "flight-recorder sampling interval in virtual ms (0 = default)")
 	flag.Parse()
 
-	s := newServer(trenv.ContainerPolicy(*policy), *seed)
+	s := newServerWith(serverOptions{
+		policy:       trenv.ContainerPolicy(*policy),
+		seed:         *seed,
+		node:         *node,
+		sloTarget:    time.Duration(*sloTargetMS) * time.Millisecond,
+		sloObjective: *sloObjective,
+		sampleEvery:  time.Duration(*sampleMS) * time.Millisecond,
+	})
 	log.Printf("trenvd: policy=%s listening on %s", *policy, *addr)
 	log.Fatal(http.ListenAndServe(*addr, s.mux()))
 }
@@ -184,6 +230,13 @@ func (s *server) invoke(w http.ResponseWriter, r *http.Request) {
 		s.platform.Invoke(at, req.Function)
 		at += time.Duration(req.SpacingMS) * time.Millisecond
 	}
+	// Sample the flight recorder across the batch; repeated batches
+	// resume cleanly because duplicate-instant samples are dropped.
+	batchEnd := at
+	eng := s.platform.Engine()
+	s.recorder.PumpWhile(eng, s.recEvery, func() bool {
+		return eng.Now() < batchEnd || s.platform.Active() > 0
+	})
 	s.platform.Engine().Run()
 	s.now = s.platform.Engine().Now()
 	m := s.platform.Metrics().Fn(req.Function)
@@ -220,6 +273,38 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		log.Printf("trenvd: write metrics: %v", err)
+	}
+}
+
+// timeseries serves the flight recorder's sampled series as JSON, or
+// CSV with ?format=csv. Same-seed servers driven with identical batches
+// produce byte-identical exports.
+func (s *server) timeseries(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "json" && format != "csv" {
+		httpError(w, http.StatusBadRequest, "bad format=%q (want json or csv)", format)
+		return
+	}
+	s.mu.Lock()
+	var buf bytes.Buffer
+	var err error
+	if format == "csv" {
+		err = s.recorder.WriteCSV(&buf)
+	} else {
+		err = s.recorder.WriteJSON(&buf)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	ct := "application/json"
+	if format == "csv" {
+		ct = "text/csv"
+	}
+	w.Header().Set("Content-Type", ct)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("trenvd: write timeseries: %v", err)
 	}
 }
 

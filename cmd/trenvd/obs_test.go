@@ -119,6 +119,7 @@ func TestMethodNotAllowedIsJSON(t *testing.T) {
 	ts := testServer(t)
 	for path, method := range map[string]string{
 		"/metrics":     http.MethodPost,
+		"/timeseries":  http.MethodPost,
 		"/trace":       http.MethodDelete,
 		"/invoke":      http.MethodGet,
 		"/stats":       http.MethodPost,

@@ -12,6 +12,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/workload"
@@ -24,6 +25,9 @@ type Cluster struct {
 	store *snapshot.Store
 	nodes []*faas.Platform
 	down  map[int]bool
+
+	recorder *obs.Recorder
+	recEvery time.Duration
 }
 
 // New builds a cluster of n nodes. Each node gets cfg's policy and
@@ -132,10 +136,33 @@ func (c *Cluster) Invoke(at time.Duration, fn string) {
 	})
 }
 
+// AttachRecorder samples reg's series into rec every interval of
+// virtual time while RunTrace drives the rack (interval <= 0 uses
+// obs.DefaultSampleInterval). Attach before RunTrace.
+func (c *Cluster) AttachRecorder(rec *obs.Recorder, every time.Duration) {
+	c.recorder = rec
+	c.recEvery = every
+}
+
+// active returns the invocations in flight across the rack.
+func (c *Cluster) active() int {
+	n := 0
+	for _, node := range c.nodes {
+		n += node.Active()
+	}
+	return n
+}
+
 // RunTrace dispatches a trace across the rack and runs to completion.
 func (c *Cluster) RunTrace(tr workload.Trace) {
 	for _, inv := range tr {
 		c.Invoke(inv.At, inv.Function)
+	}
+	if c.recorder != nil {
+		end := tr.Duration()
+		c.recorder.PumpWhile(c.eng, c.recEvery, func() bool {
+			return c.eng.Now() < end || c.active() > 0
+		})
 	}
 	c.eng.Run()
 }

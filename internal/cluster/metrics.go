@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/faas"
+	"repro/internal/obs"
+)
+
+// registerFleetAggregates publishes the cluster-wide roll-up series: each
+// trenv_cluster_* value is, by construction, the sum (or count) over the
+// same nodes whose per-node series carry node="..." labels in the same
+// registry, so aggregate == sum(node series) holds at every scrape.
+func registerFleetAggregates(reg *obs.Registry, nodes []*faas.Platform, alive func() float64) {
+	sum := func(sel func(*faas.Platform) int64) func() int64 {
+		return func() int64 {
+			var n int64
+			for _, nd := range nodes {
+				n += sel(nd)
+			}
+			return n
+		}
+	}
+	counters := []struct {
+		name, help string
+		sel        func(*faas.Platform) int64
+	}{
+		{"trenv_cluster_invocations_total", "Recorded invocations summed across all nodes.",
+			func(p *faas.Platform) int64 { return int64(p.Metrics().Invocations()) }},
+		{"trenv_cluster_warm_hits_total", "Warm hits summed across all nodes.",
+			func(p *faas.Platform) int64 { return p.Metrics().WarmHits.Value() }},
+		{"trenv_cluster_cold_starts_total", "Cold starts summed across all nodes.",
+			func(p *faas.Platform) int64 { return p.Metrics().ColdStarts.Value() }},
+		{"trenv_cluster_errors_total", "Failed invocations summed across all nodes.",
+			func(p *faas.Platform) int64 { return p.Metrics().Errors.Value() }},
+		{"trenv_cluster_minor_faults_total", "Minor page faults summed across all nodes.",
+			func(p *faas.Platform) int64 { return p.FaultStats().MinorFaults }},
+		{"trenv_cluster_major_faults_total", "Major page faults summed across all nodes.",
+			func(p *faas.Platform) int64 { return p.FaultStats().MajorFaults }},
+		{"trenv_cluster_cow_copies_total", "CoW page copies summed across all nodes.",
+			func(p *faas.Platform) int64 { return p.FaultStats().CowPages }},
+		{"trenv_cluster_pages_fetched_total", "Remotely fetched pages summed across all nodes.",
+			func(p *faas.Platform) int64 { return p.FaultStats().FetchedPages }},
+	}
+	for _, c := range counters {
+		reg.CounterFunc(c.name, c.help, nil, sum(c.sel))
+	}
+	reg.GaugeFunc("trenv_cluster_mem_used_bytes", "Node DRAM in use summed across all nodes.", nil,
+		func() float64 {
+			var n int64
+			for _, nd := range nodes {
+				n += nd.UsedMemory()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("trenv_cluster_mem_peak_bytes", "Sum of the nodes' DRAM high-water marks.", nil,
+		func() float64 {
+			var n int64
+			for _, nd := range nodes {
+				n += nd.PeakMemory()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("trenv_cluster_nodes_alive", "Nodes currently in rotation.", nil, alive)
+}
+
+// RegisterMetrics publishes the whole rack into reg: every node's full
+// metric surface under node="n<i>" labels, the shared CXL pool and
+// template registry once under scope="rack", and trenv_cluster_*
+// aggregates that always equal the sum of the per-node series.
+func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
+	for i, node := range c.nodes {
+		node.RegisterMetricsLabeled(reg, map[string]string{"node": fmt.Sprintf("n%d", i)})
+	}
+	rack := map[string]string{"scope": "rack"}
+	c.cxl.RegisterMetricsLabeled(reg, rack)
+	c.store.Registry().RegisterMetrics(reg, rack)
+	registerFleetAggregates(reg, c.nodes, func() float64 { return float64(len(c.AliveNodes())) })
+	reg.GaugeFunc("trenv_cluster_dedup_factor", "Logical/unique bytes for the rack's consolidated images.", rack,
+		c.DedupFactor)
+}
+
+// RegisterMetrics publishes the multi-rack fleet into reg: nodes under
+// rack="r<i>",node="r<i>n<j>" labels, each rack's CXL pool and template
+// registry under scope="rack", the inter-rack fabric under
+// scope="fabric", per-rack invocation roll-ups, and the same
+// trenv_cluster_* fleet aggregates the single-rack Cluster exports.
+func (m *MultiRack) RegisterMetrics(reg *obs.Registry) {
+	for ri, rk := range m.racks {
+		rackName := fmt.Sprintf("r%d", ri)
+		for ni, node := range rk.nodes {
+			node.RegisterMetricsLabeled(reg, map[string]string{
+				"rack": rackName,
+				"node": fmt.Sprintf("%sn%d", rackName, ni),
+			})
+		}
+		rackLabels := map[string]string{"scope": "rack", "rack": rackName}
+		rk.cxl.RegisterMetricsLabeled(reg, rackLabels)
+		rk.store.Registry().RegisterMetrics(reg, rackLabels)
+	}
+	fabric := map[string]string{"scope": "fabric"}
+	m.fabric.RegisterMetricsLabeled(reg, fabric)
+	m.fabricStore.Registry().RegisterMetrics(reg, fabric)
+	reg.CounterSetFunc("trenv_rack_invocations_total", "Recorded invocations summed per rack.",
+		func() []obs.LabeledValue {
+			out := make([]obs.LabeledValue, 0, len(m.racks))
+			for ri, rk := range m.racks {
+				var n int64
+				for _, node := range rk.nodes {
+					n += int64(node.Metrics().Invocations())
+				}
+				out = append(out, obs.LabeledValue{
+					Labels: map[string]string{"rack": fmt.Sprintf("r%d", ri)},
+					Value:  float64(n),
+				})
+			}
+			return out
+		})
+	nodes := m.Nodes()
+	registerFleetAggregates(reg, nodes, func() float64 { return float64(len(nodes)) })
+	reg.CounterFunc("trenv_cluster_spillovers_total", "Invocations dispatched off their home rack.", nil,
+		m.spillovers.Value)
+}

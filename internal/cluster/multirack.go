@@ -7,6 +7,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/workload"
@@ -31,6 +32,9 @@ type MultiRack struct {
 	fabricStore *snapshot.Store
 
 	spillovers sim.Counter
+
+	recorder *obs.Recorder
+	recEvery time.Duration
 }
 
 type rack struct {
@@ -166,10 +170,35 @@ func (m *MultiRack) Invoke(at time.Duration, fn string) {
 	})
 }
 
+// AttachRecorder samples reg's series into rec every interval of
+// virtual time while RunTrace drives the fleet (interval <= 0 uses
+// obs.DefaultSampleInterval). Attach before RunTrace.
+func (m *MultiRack) AttachRecorder(rec *obs.Recorder, every time.Duration) {
+	m.recorder = rec
+	m.recEvery = every
+}
+
+// active returns the invocations in flight across every rack.
+func (m *MultiRack) active() int {
+	n := 0
+	for _, rk := range m.racks {
+		for _, node := range rk.nodes {
+			n += node.Active()
+		}
+	}
+	return n
+}
+
 // RunTrace dispatches a trace and runs to completion.
 func (m *MultiRack) RunTrace(tr workload.Trace) {
 	for _, inv := range tr {
 		m.Invoke(inv.At, inv.Function)
+	}
+	if m.recorder != nil {
+		end := tr.Duration()
+		m.recorder.PumpWhile(m.eng, m.recEvery, func() bool {
+			return m.eng.Now() < end || m.active() > 0
+		})
 	}
 	m.eng.Run()
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
 	"repro/internal/osproc"
+	"repro/internal/pagetable"
 	"repro/internal/sandbox"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -113,6 +114,17 @@ type Runtime struct {
 	// share the snapshot medium's bandwidth, so each runs ~N times
 	// slower during an N-way burst.
 	restoring int
+
+	// PageStats aggregates fault/CoW/traffic accounting across every
+	// address space this runtime restored — the node-level series the
+	// metrics registry exports.
+	PageStats pagetable.Stats
+}
+
+// adopt mirrors the restored spaces' fault accounting into the
+// runtime's node-wide aggregate.
+func (rt *Runtime) adopt(res *snapshot.Restored) {
+	res.SetStatsSink(&rt.PageStats)
 }
 
 // sleepFullRestore sleeps through a full-copy restore, inflating the copy
@@ -179,6 +191,7 @@ func (rt *Runtime) StartCold(p *sim.Proc, prof workload.FunctionProfile) (*Insta
 	if err != nil {
 		return nil, Startup{}, fmt.Errorf("core: cold start %s: %w", prof.Name, err)
 	}
+	rt.adopt(res)
 	res.Latency = 0 // materialization cost is part of ColdInit below
 	p.Sleep(prof.ColdInit)
 	if err := rt.chargeOverhead(rt.ContainerOverhead); err != nil {
@@ -203,6 +216,7 @@ func (rt *Runtime) StartCRIU(p *sim.Proc, prof workload.FunctionProfile, snap *s
 	if err != nil {
 		return nil, Startup{}, fmt.Errorf("core: criu start %s: %w", prof.Name, err)
 	}
+	rt.adopt(res)
 	restore := rt.sleepFullRestore(p, res.Latency, snap.MemBytes())
 	if err := rt.chargeOverhead(rt.ContainerOverhead); err != nil {
 		res.ReleaseAll()
@@ -241,6 +255,7 @@ func (rt *Runtime) StartLazyVM(p *sim.Proc, prof workload.FunctionProfile, snap 
 		rt.NetPool.Put(ns)
 		return nil, Startup{}, fmt.Errorf("core: lazy start %s: %w", prof.Name, err)
 	}
+	rt.adopt(res)
 	p.Sleep(res.Latency)
 	tmpfs.EndFetch()
 	if err := rt.chargeOverhead(rt.VMOverhead); err != nil {
@@ -284,6 +299,7 @@ func (rt *Runtime) StartTrEnv(p *sim.Proc, prof workload.FunctionProfile, img *s
 	if err != nil {
 		return nil, Startup{}, fmt.Errorf("core: trenv start %s: %w", prof.Name, err)
 	}
+	rt.adopt(res)
 	p.Sleep(res.Latency)
 	if err := rt.chargeOverhead(rt.ContainerOverhead); err != nil {
 		res.ReleaseAll()
@@ -330,6 +346,7 @@ func (rt *Runtime) StartReconfig(p *sim.Proc, prof workload.FunctionProfile, sna
 	if err != nil {
 		return nil, Startup{}, fmt.Errorf("core: reconfig start %s: %w", prof.Name, err)
 	}
+	rt.adopt(res)
 	restore := rt.sleepFullRestore(p, res.Latency, snap.MemBytes())
 	if err := rt.chargeOverhead(rt.ContainerOverhead); err != nil {
 		res.ReleaseAll()

@@ -238,6 +238,7 @@ func Fig17(o Options) *Result {
 		perFnP99 := map[faas.Policy]map[string]float64{}
 		for _, pol := range fig17Policies() {
 			pl := containerPlatform(o, pol, wl.cap)
+			o.observe(fmt.Sprintf("fig17/%s/%s", wl.name, pol), pl)
 			pl.RunTrace(tr)
 			m := pl.Metrics()
 			p99[pol] = m.All.E2E.Percentile(99)
@@ -279,6 +280,7 @@ func Fig18(o Options) *Result {
 		peaks := map[faas.Policy]int64{}
 		for _, pol := range fig17Policies() {
 			pl := containerPlatform(o, pol, wl.cap)
+			o.observe(fmt.Sprintf("fig18/%s/%s", wl.name, pol), pl)
 			pl.RunTrace(tr)
 			peaks[pol] = pl.PeakMemory()
 		}
@@ -368,6 +370,7 @@ func Fig20(o Options) *Result {
 		perFn := map[faas.Policy]map[string]float64{}
 		for _, pol := range []faas.Policy{faas.PolicyREAPPlus, faas.PolicyFaaSnapPlus, faas.PolicyTrEnvRDMA, faas.PolicyTrEnvCXL} {
 			pl := containerPlatform(o, pol, wl.cap)
+			o.observe(fmt.Sprintf("fig20/%s/%s", wl.name, pol), pl)
 			pl.RunTrace(tr)
 			perFn[pol] = map[string]float64{}
 			for _, fn := range fnNames() {
@@ -434,6 +437,7 @@ func Fig22(o Options) *Result {
 	exec := map[faas.Policy]map[string]*sim.Histogram{}
 	for _, pol := range []faas.Policy{faas.PolicyTrEnvCXL, faas.PolicyTrEnvRDMA} {
 		pl := containerPlatform(o, pol, 64<<30)
+		o.observe(fmt.Sprintf("fig22/%s", pol), pl)
 		pl.RunTrace(tr)
 		exec[pol] = map[string]*sim.Histogram{}
 		for _, fn := range fnNames() {

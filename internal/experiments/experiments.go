@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faas"
 	"repro/internal/obs"
 )
 
@@ -24,6 +25,22 @@ type Options struct {
 	// Tracer, when non-nil, collects invocation span trees from every
 	// platform an experiment builds (cmd/trenv-bench -trace).
 	Tracer *obs.Tracer
+	// Recorders, when non-nil, captures utilization-over-time series from
+	// the trace-driven figure runs (cmd/trenv-bench -timeseries): each
+	// platform run is sampled into its own recorder under a
+	// "<experiment>/<workload>/<policy>" run name.
+	Recorders *obs.RecorderSet
+}
+
+// observe wires a fresh registry + recorder to pl under the given run
+// name when time-series capture is enabled. Call before RunTrace.
+func (o Options) observe(run string, pl *faas.Platform) {
+	if o.Recorders == nil {
+		return
+	}
+	reg := obs.NewRegistry()
+	pl.RegisterMetrics(reg)
+	pl.AttachRecorder(o.Recorders.Track(run, reg), o.Recorders.Every())
 }
 
 // DefaultOptions returns paper-scale options.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
 	"repro/internal/obs"
+	"repro/internal/pagetable"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/workload"
@@ -105,6 +106,14 @@ type Config struct {
 	// invocation (queue/sandbox/restore/exec phases) into the ring.
 	Tracer *obs.Tracer
 
+	// SLOTarget, when > 0, tracks a latency objective for every
+	// registered function: SLOObjective (default 0.99) of post-warmup
+	// invocations must finish end-to-end within SLOTarget. Burn rates
+	// over sliding virtual-time windows export through the registry; use
+	// Platform.SLO() to set per-function overrides.
+	SLOTarget    time.Duration
+	SLOObjective float64
+
 	// Engine, when non-nil, embeds the platform in an existing simulation
 	// (multi-node clusters share one virtual clock).
 	Engine *sim.Engine
@@ -157,6 +166,10 @@ type Platform struct {
 	samplerOn  bool
 	sampleStep time.Duration
 
+	slo      *obs.SLOTracker
+	recorder *obs.Recorder
+	recEvery time.Duration
+
 	// Per-function admission control (MaxPerFunction).
 	running map[string]int
 	waiting map[string][]*sim.Proc
@@ -201,6 +214,14 @@ func New(cfg Config) *Platform {
 		waiting:    make(map[string][]*sim.Proc),
 	}
 	pl.rt.Lat = lat
+	if cfg.SLOTarget > 0 {
+		obj := cfg.SLOObjective
+		if obj == 0 {
+			obj = 0.99
+		}
+		pl.slo = obs.NewSLOTracker()
+		pl.slo.SetDefault(obs.SLO{Target: cfg.SLOTarget, Objective: obj})
+	}
 	switch {
 	case cfg.SharedStore != nil:
 		pl.store = cfg.SharedStore
@@ -237,25 +258,61 @@ func (pl *Platform) Tracer() *obs.Tracer { return pl.tracer }
 
 // RegisterMetrics publishes the platform's full metric surface into
 // reg: invocation counters and latency histograms, node DRAM and
-// keep-alive-pool gauges, memory-pool contention, and sandbox-factory
-// reuse counters.
+// keep-alive-pool gauges, memory-pool contention, page-fault/CoW
+// traffic, template sharing, sandbox-factory reuse counters, and (when
+// configured) SLO burn rates.
 func (pl *Platform) RegisterMetrics(reg *obs.Registry) {
-	pl.metrics.Register(reg)
-	reg.GaugeFunc("trenv_node_mem_used_bytes", "Node DRAM currently in use.", nil,
+	pl.RegisterMetricsLabeled(reg, nil)
+}
+
+// RegisterMetricsLabeled is RegisterMetrics with extra labels merged
+// into every series, so a fleet of nodes exports through one registry
+// (labels like node="n3" or rack="r1"). Resources shared with other
+// nodes — the rack's CXL pool and snapshot store when cfg.SharedStore
+// is set — are NOT registered here; register them once at the
+// cluster level to keep series unique.
+func (pl *Platform) RegisterMetricsLabeled(reg *obs.Registry, labels map[string]string) {
+	pl.metrics.RegisterLabeled(reg, labels)
+	reg.GaugeFunc("trenv_node_mem_used_bytes", "Node DRAM currently in use.", labels,
 		func() float64 { return float64(pl.node.Used()) })
-	reg.GaugeFunc("trenv_node_mem_peak_bytes", "Node DRAM high-water mark.", nil,
+	reg.GaugeFunc("trenv_node_mem_peak_bytes", "Node DRAM high-water mark.", labels,
 		func() float64 { return float64(pl.node.Peak()) })
-	reg.GaugeFunc("trenv_warm_instances", "Kept-alive instances in the pool.", nil,
+	reg.GaugeFunc("trenv_warm_instances", "Kept-alive instances in the pool.", labels,
 		func() float64 { return float64(pl.WarmCount()) })
-	reg.GaugeFunc("trenv_active_invocations", "Invocations currently in flight.", nil,
+	reg.GaugeFunc("trenv_active_invocations", "Invocations currently in flight.", labels,
 		func() float64 { return float64(pl.active) })
-	for _, pool := range []*mem.Pool{pl.cxl, pl.rdma, pl.tmpfs} {
-		pool.RegisterMetrics(reg)
+	pools := []*mem.Pool{pl.rdma, pl.tmpfs}
+	if pl.cfg.SharedStore == nil {
+		pools = append(pools, pl.cxl)
+		pl.store.Registry().RegisterMetrics(reg, labels)
 	}
-	reg.CounterFunc("trenv_sandboxes_created_total", "Sandboxes built from scratch by the factory.", nil,
+	for _, pool := range pools {
+		pool.RegisterMetricsLabeled(reg, labels)
+	}
+	pagetable.RegisterStats(reg, labels, &pl.rt.PageStats)
+	reg.CounterFunc("trenv_sandboxes_created_total", "Sandboxes built from scratch by the factory.", labels,
 		pl.rt.Factory.Created)
-	reg.CounterFunc("trenv_sandboxes_repurposed_total", "Sandbox handoffs served by reuse.", nil,
+	reg.CounterFunc("trenv_sandboxes_repurposed_total", "Sandbox handoffs served by reuse.", labels,
 		pl.rt.Factory.Repurposed)
+	if pl.slo != nil {
+		pl.slo.Register(reg, labels, pl.eng.Now)
+	}
+}
+
+// SLO returns the platform's SLO tracker (nil unless Config.SLOTarget
+// was set).
+func (pl *Platform) SLO() *obs.SLOTracker { return pl.slo }
+
+// FaultStats returns a copy of the node-wide page-fault/CoW/traffic
+// aggregate across every address space the runtime restored.
+func (pl *Platform) FaultStats() pagetable.Stats { return pl.rt.PageStats }
+
+// AttachRecorder samples reg's series into rec every interval of
+// virtual time while RunTrace drives the platform (interval <= 0 uses
+// obs.DefaultSampleInterval). Attach before RunTrace.
+func (pl *Platform) AttachRecorder(rec *obs.Recorder, every time.Duration) {
+	pl.recorder = rec
+	pl.recEvery = every
 }
 
 // PoolUsage returns bytes held in the CXL, RDMA, and tmpfs pools.
@@ -591,6 +648,9 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 	tEnd := p.Now()
 	if t0 >= pl.cfg.Warmup {
 		pl.metrics.Record(name, st, es, tEnd-t0)
+		if pl.slo != nil {
+			pl.slo.Record(name, tEnd, tEnd-t0)
+		}
 	}
 	if pl.tracer != nil {
 		root := obs.NewSpan("invoke/"+name, tArrive, tEnd)
@@ -622,6 +682,7 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 			pl.release(p, in)
 			return
 		}
+		fresh.SetStatsSink(&pl.rt.PageStats)
 		p.Sleep(fresh.Latency)
 		in.Restored = fresh
 		old.ReleaseAll()
@@ -678,11 +739,19 @@ func (pl *Platform) RunTrace(tr workload.Trace) {
 		pl.Invoke(inv.At, inv.Function)
 	}
 	pl.startSampler()
+	if pl.recorder != nil {
+		pl.recorder.PumpWhile(pl.eng, pl.recEvery, func() bool {
+			return pl.eng.Now() < pl.traceEnd || pl.active > 0
+		})
+	}
 	pl.eng.Run()
 }
 
 // PeakMemory returns the node DRAM high-water mark.
 func (pl *Platform) PeakMemory() int64 { return pl.node.Peak() }
+
+// UsedMemory returns node DRAM currently in use.
+func (pl *Platform) UsedMemory() int64 { return pl.node.Used() }
 
 // Active returns the number of invocations currently in flight.
 func (pl *Platform) Active() int { return pl.active }

@@ -97,7 +97,12 @@ func (m *Metrics) Summary() string {
 // function=<name>) plus the aggregate as function="_all"; series for
 // functions invoked after registration appear automatically because
 // gathering happens at scrape time.
-func (m *Metrics) Register(reg *obs.Registry) {
+func (m *Metrics) Register(reg *obs.Registry) { m.RegisterLabeled(reg, nil) }
+
+// RegisterLabeled is Register with extra labels merged into every
+// series (node="n3", rack="r0"...), so many nodes' metrics share one
+// fleet-wide registry without colliding.
+func (m *Metrics) RegisterLabeled(reg *obs.Registry, labels map[string]string) {
 	counters := []struct {
 		name, help string
 		c          *sim.Counter
@@ -114,9 +119,9 @@ func (m *Metrics) Register(reg *obs.Registry) {
 	}
 	for _, c := range counters {
 		c := c
-		reg.CounterFunc(c.name, c.help, nil, c.c.Value)
+		reg.CounterFunc(c.name, c.help, labels, c.c.Value)
 	}
-	reg.CounterFunc("trenv_invocations_total", "Recorded (post-warmup) invocations.", nil,
+	reg.CounterFunc("trenv_invocations_total", "Recorded (post-warmup) invocations.", labels,
 		func() int64 { return int64(m.Invocations()) })
 	hists := []struct {
 		name, help string
@@ -129,13 +134,20 @@ func (m *Metrics) Register(reg *obs.Registry) {
 		{"trenv_exec_latency_ms", "Function execution latency in milliseconds.",
 			func(fm *FnMetrics) *sim.Histogram { return &fm.Exec }},
 	}
+	fnLabels := func(name string) map[string]string {
+		out := map[string]string{"function": name}
+		for k, v := range labels {
+			out[k] = v
+		}
+		return out
+	}
 	for _, h := range hists {
 		h := h
 		reg.HistogramFunc(h.name, h.help, func() []obs.LabeledHistogram {
-			out := []obs.LabeledHistogram{{Labels: map[string]string{"function": "_all"}, Hist: h.sel(&m.All)}}
+			out := []obs.LabeledHistogram{{Labels: fnLabels("_all"), Hist: h.sel(&m.All)}}
 			for _, name := range m.Functions() {
 				out = append(out, obs.LabeledHistogram{
-					Labels: map[string]string{"function": name},
+					Labels: fnLabels(name),
 					Hist:   h.sel(m.PerFn[name]),
 				})
 			}

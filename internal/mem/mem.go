@@ -230,12 +230,14 @@ func (t *Tracker) ResetPeak() { t.peak = t.used }
 // Pool is a disaggregated memory pool of a given kind holding consolidated
 // snapshot images. Reads are served according to the kind's access model.
 type Pool struct {
-	kind        PoolKind
-	lat         LatencyModel
-	tracker     *Tracker
-	outstanding int // in-flight fetch batches (RDMA contention)
-	fetches     int64
-	cliffs      int64
+	kind         PoolKind
+	lat          LatencyModel
+	tracker      *Tracker
+	outstanding  int // in-flight fetch batches (RDMA contention)
+	fetches      int64
+	cliffs       int64
+	pagesFetched int64
+	pagesDirect  int64
 
 	// Optional RDMA server backing (AttachRDMAServer): fetches route
 	// through a queue pair so NIC-level contention is shared with every
@@ -265,6 +267,14 @@ func (p *Pool) Fetches() int64 { return p.fetches }
 // Cliffs returns how many fetch batches hit the tail-latency cliff.
 func (p *Pool) Cliffs() int64 { return p.cliffs }
 
+// PagesFetched returns the total pages moved by fetch batches — the
+// pool's message-based traffic (RDMA/NAS/Tmpfs, or CXL bulk copies).
+func (p *Pool) PagesFetched() int64 { return p.pagesFetched }
+
+// PagesDirect returns the total pages touched via direct byte-
+// addressable loads (CXL), which move no data to the node.
+func (p *Pool) PagesDirect() int64 { return p.pagesDirect }
+
 // BeginFetch marks a fetch batch in flight (contention accounting).
 func (p *Pool) BeginFetch() { p.outstanding++ }
 
@@ -287,6 +297,7 @@ func (p *Pool) FetchLatency(rng *rand.Rand, pages int) time.Duration {
 		return 0
 	}
 	p.fetches++
+	p.pagesFetched += int64(pages)
 	switch p.kind {
 	case CXL:
 		// CXL never "fetches": direct access. Callers should use
@@ -332,5 +343,6 @@ func (p *Pool) DirectAccessCost(pages int) time.Duration {
 	if p.kind != CXL || pages <= 0 {
 		return 0
 	}
+	p.pagesDirect += int64(pages)
 	return time.Duration(pages) * p.lat.CXLDirectAccess
 }

@@ -7,7 +7,17 @@ import "repro/internal/obs"
 // same pool (or another pool of the same kind) into one registry twice
 // produces duplicate series — register each pool once.
 func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	p.RegisterMetricsLabeled(reg, nil)
+}
+
+// RegisterMetricsLabeled is RegisterMetrics with extra labels merged in
+// (node="n3", rack="r1", scope="fabric"...), so several pools of the
+// same kind can coexist in one fleet-wide registry.
+func (p *Pool) RegisterMetricsLabeled(reg *obs.Registry, extra map[string]string) {
 	labels := map[string]string{"pool": p.kind.String()}
+	for k, v := range extra {
+		labels[k] = v
+	}
 	reg.GaugeFunc("trenv_pool_used_bytes", "Bytes held in the memory pool.", labels,
 		func() float64 { return float64(p.tracker.Used()) })
 	reg.GaugeFunc("trenv_pool_peak_bytes", "Memory pool high-water mark.", labels,
@@ -18,4 +28,8 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry) {
 		func() int64 { return p.fetches })
 	reg.CounterFunc("trenv_pool_fetch_cliffs_total", "Fetch batches that hit the tail-latency cliff.", labels,
 		func() int64 { return p.cliffs })
+	reg.CounterFunc("trenv_pool_pages_fetched_total", "Pages moved to the node by fetch batches.", labels,
+		func() int64 { return p.pagesFetched })
+	reg.CounterFunc("trenv_pool_pages_direct_total", "Pages served in place via byte-addressable loads (CXL).", labels,
+		func() int64 { return p.pagesDirect })
 }

@@ -1,0 +1,18 @@
+package mmtemplate
+
+import "repro/internal/obs"
+
+// RegisterMetrics publishes the registry's template population and
+// sharing series into reg under the given labels (nil for a single-node
+// registry, scope/rack labels for a shared store in a fleet).
+func (r *Registry) RegisterMetrics(reg *obs.Registry, labels map[string]string) {
+	reg.GaugeFunc("trenv_templates",
+		"Live memory templates in the registry.", labels,
+		func() float64 { return float64(r.Len()) })
+	reg.CounterFunc("trenv_template_attaches_total",
+		"Cumulative template attaches (metadata-only restores).", labels,
+		r.TotalAttaches)
+	reg.GaugeFunc("trenv_template_sharing_factor",
+		"Attached mms per live template.", labels,
+		r.SharingFactor)
+}

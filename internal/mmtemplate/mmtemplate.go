@@ -24,6 +24,7 @@ package mmtemplate
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mem"
@@ -65,6 +66,7 @@ type Registry struct {
 	mu        sync.Mutex
 	next      uint64
 	templates map[uint64]*Template
+	attaches  int64 // cumulative, survives template destruction
 }
 
 // NewRegistry returns an empty registry.
@@ -109,6 +111,37 @@ func (r *Registry) Len() int {
 	return len(r.templates)
 }
 
+// TotalAttaches returns the cumulative attach count across all
+// templates ever created through this registry (monotone — destroyed
+// templates keep contributing).
+func (r *Registry) TotalAttaches() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attaches
+}
+
+// SharingFactor returns attached mms per live template — how many
+// address spaces each shared memory template has spawned. Zero when no
+// templates are live.
+func (r *Registry) SharingFactor() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.templates) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, t := range r.templates {
+		sum += t.Attaches()
+	}
+	return float64(sum) / float64(len(r.templates))
+}
+
+func (r *Registry) noteAttach() {
+	r.mu.Lock()
+	r.attaches++
+	r.mu.Unlock()
+}
+
 // Template is the metadata for one process's memory state.
 type Template struct {
 	id   uint64
@@ -117,7 +150,7 @@ type Template struct {
 
 	mu       sync.Mutex
 	maps     []*tmap
-	attaches int64
+	attaches atomic.Int64 // atomic so registry-wide reads skip t.mu
 }
 
 type tmap struct {
@@ -143,11 +176,7 @@ func (t *Template) ID() uint64 { return t.id }
 func (t *Template) Name() string { return t.name }
 
 // Attaches returns how many times the template has been attached.
-func (t *Template) Attaches() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.attaches
-}
+func (t *Template) Attaches() int64 { return t.attaches.Load() }
 
 // AddMap records a virtual memory area in the template (mmt_add_map).
 // start/length are in bytes; length must be page aligned. Like the kernel
@@ -276,7 +305,10 @@ func (t *Template) Attach(tracker *mem.Tracker, lat mem.LatencyModel, cost CostM
 			}
 		}
 	}
-	t.attaches++
+	t.attaches.Add(1)
+	if t.reg != nil {
+		t.reg.noteAttach()
+	}
 	d := cost.AttachSyscall +
 		time.Duration(float64(t.MetadataBytesLocked())/cost.MetadataBandwidth*float64(time.Second)) +
 		time.Duration(len(t.maps))*cost.PerMapOverhead

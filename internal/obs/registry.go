@@ -32,9 +32,14 @@ type family struct {
 	help   string
 	kind   familyKind
 	series []series
-	// gather, for dynamic families, yields label→histogram pairs at
-	// export time (per-function histograms appear as they are created).
-	gather func() []LabeledHistogram
+	// gathers, for dynamic summary families, yield label→histogram pairs
+	// at export time (per-function histograms appear as they are
+	// created). Several sources may feed one family — e.g. one gather per
+	// node in a fleet registry.
+	gathers []func() []LabeledHistogram
+	// gatherVals is the counter/gauge analogue of gathers: label→value
+	// pairs whose label sets are only known at export time.
+	gatherVals []func() []LabeledValue
 }
 
 type series struct {
@@ -48,6 +53,14 @@ type series struct {
 type LabeledHistogram struct {
 	Labels map[string]string
 	Hist   *sim.Histogram
+}
+
+// LabeledValue pairs a label set with an instantaneous value, for
+// dynamic counter/gauge families whose series appear during the run
+// (per-function SLO series, per-node aggregates).
+type LabeledValue struct {
+	Labels map[string]string
+	Value  float64
 }
 
 // NewRegistry returns an empty registry.
@@ -104,13 +117,25 @@ func (r *Registry) Histogram(name, help string, labels map[string]string, h *sim
 
 // HistogramFunc registers a dynamic summary family whose series are
 // gathered at export time — per-function histograms that only exist
-// once the function has been invoked.
+// once the function has been invoked. Calling it again for the same
+// name adds another source to the family (one per node in a fleet).
 func (r *Registry) HistogramFunc(name, help string, gather func() []LabeledHistogram) {
 	f := r.familyFor(name, help, kindSummary)
-	if f.gather != nil {
-		panic(fmt.Sprintf("obs: metric %q already has a gather func", name))
-	}
-	f.gather = gather
+	f.gathers = append(f.gathers, gather)
+}
+
+// CounterSetFunc registers a dynamic counter family whose series (label
+// sets and values) are gathered at export time.
+func (r *Registry) CounterSetFunc(name, help string, gather func() []LabeledValue) {
+	f := r.familyFor(name, help, kindCounter)
+	f.gatherVals = append(f.gatherVals, gather)
+}
+
+// GaugeSetFunc registers a dynamic gauge family whose series (label
+// sets and values) are gathered at export time.
+func (r *Registry) GaugeSetFunc(name, help string, gather func() []LabeledValue) {
+	f := r.familyFor(name, help, kindGauge)
+	f.gatherVals = append(f.gatherVals, gather)
 }
 
 // summaryQuantiles are the quantiles exported for every histogram.
@@ -142,6 +167,73 @@ func renderLabels(labels map[string]string, extra string) string {
 	return "{" + strings.Join(pairs, ",") + "}"
 }
 
+// allSeries materialises the family's static and gathered series.
+func (f *family) allSeries() []series {
+	ss := append([]series(nil), f.series...)
+	for _, g := range f.gathers {
+		for _, lh := range g() {
+			ss = append(ss, series{labels: lh.Labels, hist: lh.Hist})
+		}
+	}
+	for _, g := range f.gatherVals {
+		for _, lv := range g() {
+			v := lv.Value
+			ss = append(ss, series{labels: lv.Labels, value: func() float64 { return v }})
+		}
+	}
+	return ss
+}
+
+// Sample is one gathered series value: counters and gauges directly,
+// summaries as their _count and _sum. It is what the flight recorder
+// snapshots every sampling tick.
+type Sample struct {
+	Name    string
+	Labels  map[string]string
+	Key     string // Name plus rendered sorted labels; unique per series
+	Value   float64
+	Counter bool // monotone — a rate-of-change is meaningful
+}
+
+// Gather reads every series in the registry, sorted by Key so repeated
+// gathers of the same simulation state are identical.
+func (r *Registry) Gather() []Sample {
+	var out []Sample
+	for _, f := range r.families {
+		for _, s := range f.allSeries() {
+			base := renderLabels(s.labels, "")
+			switch f.kind {
+			case kindCounter, kindGauge:
+				out = append(out, Sample{
+					Name:    f.name,
+					Labels:  s.labels,
+					Key:     f.name + base,
+					Value:   s.value(),
+					Counter: f.kind == kindCounter,
+				})
+			case kindSummary:
+				out = append(out,
+					Sample{
+						Name:    f.name + "_count",
+						Labels:  s.labels,
+						Key:     f.name + "_count" + base,
+						Value:   float64(s.hist.N()),
+						Counter: true,
+					},
+					Sample{
+						Name:    f.name + "_sum",
+						Labels:  s.labels,
+						Key:     f.name + "_sum" + base,
+						Value:   s.hist.Sum(),
+						Counter: true,
+					})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // WritePrometheus writes every registered family in Prometheus
 // text-format (version 0.0.4). Families and series are sorted, so the
 // output for a fixed simulation state is deterministic.
@@ -153,12 +245,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		f := r.families[n]
-		ss := append([]series(nil), f.series...)
-		if f.gather != nil {
-			for _, lh := range f.gather() {
-				ss = append(ss, series{labels: lh.Labels, hist: lh.Hist})
-			}
-		}
+		ss := f.allSeries()
 		type rendered struct {
 			key   string
 			lines []string

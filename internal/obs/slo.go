@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SLO is a latency objective for one function: at least Objective
+// (a fraction in (0,1), e.g. 0.99) of invocations must complete within
+// Target.
+type SLO struct {
+	Target    time.Duration
+	Objective float64
+}
+
+func (s SLO) check() {
+	if s.Target <= 0 {
+		panic("obs: SLO target must be positive")
+	}
+	if s.Objective <= 0 || s.Objective >= 1 {
+		panic(fmt.Sprintf("obs: SLO objective %v outside (0,1)", s.Objective))
+	}
+}
+
+// DefaultBurnWindows are the sliding virtual-time windows burn rate is
+// reported over when the caller does not choose any.
+var DefaultBurnWindows = []time.Duration{time.Minute, 5 * time.Minute}
+
+// DefaultSLOEventCapacity bounds the per-function event ring burn rates
+// are computed from.
+const DefaultSLOEventCapacity = 4096
+
+type sloEvent struct {
+	t   time.Duration
+	bad bool
+}
+
+type sloSeries struct {
+	slo      SLO
+	events   []sloEvent // ring, oldest at head once full
+	head     int
+	total    int64
+	breaches int64
+}
+
+func (s *sloSeries) record(e sloEvent, cap int) {
+	s.total++
+	if e.bad {
+		s.breaches++
+	}
+	if len(s.events) < cap {
+		s.events = append(s.events, e)
+		return
+	}
+	s.events[s.head] = e
+	s.head = (s.head + 1) % cap
+}
+
+// window counts events with t in (now-window, now].
+func (s *sloSeries) window(now, window time.Duration) (total, bad int64) {
+	lo := now - window
+	for _, e := range s.events {
+		if e.t > lo && e.t <= now {
+			total++
+			if e.bad {
+				bad++
+			}
+		}
+	}
+	return total, bad
+}
+
+// SLOTracker tracks per-function latency objectives over virtual time
+// and derives burn rates over sliding windows. Burn rate is the
+// fraction of the error budget being consumed: (bad fraction in the
+// window) / (1 - objective); 1.0 means burning exactly at budget,
+// above 1 means the objective will be missed if the window is
+// representative.
+type SLOTracker struct {
+	def     SLO
+	hasDef  bool
+	cap     int
+	windows []time.Duration
+	byFn    map[string]*sloSeries
+	names   []string // sorted function names
+}
+
+// NewSLOTracker tracks burn rate over the given sliding windows
+// (DefaultBurnWindows when none are given).
+func NewSLOTracker(windows ...time.Duration) *SLOTracker {
+	if len(windows) == 0 {
+		windows = DefaultBurnWindows
+	}
+	return &SLOTracker{
+		cap:     DefaultSLOEventCapacity,
+		windows: windows,
+		byFn:    make(map[string]*sloSeries),
+	}
+}
+
+// Windows returns the burn-rate windows.
+func (t *SLOTracker) Windows() []time.Duration { return t.windows }
+
+// SetDefault applies slo to every function without an explicit Set.
+func (t *SLOTracker) SetDefault(slo SLO) {
+	slo.check()
+	t.def, t.hasDef = slo, true
+}
+
+// Set fixes the objective for one function, overriding the default.
+func (t *SLOTracker) Set(fn string, slo SLO) {
+	slo.check()
+	t.seriesFor(fn, slo)
+	t.byFn[fn].slo = slo
+}
+
+func (t *SLOTracker) seriesFor(fn string, slo SLO) *sloSeries {
+	s, ok := t.byFn[fn]
+	if !ok {
+		s = &sloSeries{slo: slo}
+		t.byFn[fn] = s
+		i := sort.SearchStrings(t.names, fn)
+		t.names = append(t.names, "")
+		copy(t.names[i+1:], t.names[i:])
+		t.names[i] = fn
+	}
+	return s
+}
+
+// Record observes one invocation of fn completing at virtual time `at`
+// with the given end-to-end latency. Functions with neither an explicit
+// objective nor a default are not tracked.
+func (t *SLOTracker) Record(fn string, at, latency time.Duration) {
+	s, ok := t.byFn[fn]
+	if !ok {
+		if !t.hasDef {
+			return
+		}
+		s = t.seriesFor(fn, t.def)
+	}
+	s.record(sloEvent{t: at, bad: latency > s.slo.Target}, t.cap)
+}
+
+// Functions returns every tracked function, sorted.
+func (t *SLOTracker) Functions() []string {
+	return append([]string(nil), t.names...)
+}
+
+// Total returns how many invocations of fn were recorded.
+func (t *SLOTracker) Total(fn string) int64 {
+	if s, ok := t.byFn[fn]; ok {
+		return s.total
+	}
+	return 0
+}
+
+// Breaches returns how many recorded invocations of fn missed its
+// latency target.
+func (t *SLOTracker) Breaches(fn string) int64 {
+	if s, ok := t.byFn[fn]; ok {
+		return s.breaches
+	}
+	return 0
+}
+
+// BurnRate returns the error-budget burn rate for fn over the window
+// ending at now: (bad/total within window) / (1 - objective). Zero when
+// nothing was recorded in the window. Windows longer than the retained
+// event ring are computed over the retained events.
+func (t *SLOTracker) BurnRate(fn string, now, window time.Duration) float64 {
+	s, ok := t.byFn[fn]
+	if !ok {
+		return 0
+	}
+	total, bad := s.window(now, window)
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - s.slo.Objective)
+}
+
+// Compliance returns the fraction of invocations within target over the
+// window ending at now (1 when nothing was recorded).
+func (t *SLOTracker) Compliance(fn string, now, window time.Duration) float64 {
+	s, ok := t.byFn[fn]
+	if !ok {
+		return 1
+	}
+	total, bad := s.window(now, window)
+	if total == 0 {
+		return 1
+	}
+	return 1 - float64(bad)/float64(total)
+}
+
+// mergeLabels returns base ∪ extra (extra wins on conflicts).
+func mergeLabels(base, extra map[string]string) map[string]string {
+	if len(base) == 0 && len(extra) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(base)+len(extra))
+	for k, v := range base {
+		out[k] = v
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}
+
+// Register publishes the tracker through reg: per-function event and
+// breach counters, the configured target, and one burn-rate gauge per
+// window, all merged with base labels (e.g. node="n3"). now supplies
+// the virtual instant burn rates are evaluated at.
+func (t *SLOTracker) Register(reg *Registry, base map[string]string, now func() time.Duration) {
+	reg.CounterSetFunc("trenv_slo_events_total",
+		"Invocations observed by the SLO tracker.",
+		func() []LabeledValue {
+			out := make([]LabeledValue, 0, len(t.names))
+			for _, fn := range t.names {
+				out = append(out, LabeledValue{
+					Labels: mergeLabels(base, map[string]string{"function": fn}),
+					Value:  float64(t.byFn[fn].total),
+				})
+			}
+			return out
+		})
+	reg.CounterSetFunc("trenv_slo_breaches_total",
+		"Invocations that missed their latency target.",
+		func() []LabeledValue {
+			out := make([]LabeledValue, 0, len(t.names))
+			for _, fn := range t.names {
+				out = append(out, LabeledValue{
+					Labels: mergeLabels(base, map[string]string{"function": fn}),
+					Value:  float64(t.byFn[fn].breaches),
+				})
+			}
+			return out
+		})
+	reg.GaugeSetFunc("trenv_slo_target_ms",
+		"Configured per-function latency target.",
+		func() []LabeledValue {
+			out := make([]LabeledValue, 0, len(t.names))
+			for _, fn := range t.names {
+				out = append(out, LabeledValue{
+					Labels: mergeLabels(base, map[string]string{"function": fn}),
+					Value:  durMS(t.byFn[fn].slo.Target),
+				})
+			}
+			return out
+		})
+	reg.GaugeSetFunc("trenv_slo_burn_rate",
+		"Error-budget burn rate over a sliding virtual-time window (1 = at budget).",
+		func() []LabeledValue {
+			at := now()
+			out := make([]LabeledValue, 0, len(t.names)*len(t.windows))
+			for _, fn := range t.names {
+				for _, w := range t.windows {
+					out = append(out, LabeledValue{
+						Labels: mergeLabels(base, map[string]string{"function": fn, "window": w.String()}),
+						Value:  t.BurnRate(fn, at, w),
+					})
+				}
+			}
+			return out
+		})
+}

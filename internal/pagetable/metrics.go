@@ -1,0 +1,27 @@
+package pagetable
+
+import "repro/internal/obs"
+
+// RegisterStats publishes an aggregated fault/traffic Stats (typically
+// the shared sink of every address space on a node — see SetStatsSink)
+// into reg under the given labels.
+func RegisterStats(reg *obs.Registry, labels map[string]string, s *Stats) {
+	reg.CounterFunc("trenv_page_minor_faults_total",
+		"Minor page faults (demand-zero + CoW trap entries).", labels,
+		func() int64 { return s.MinorFaults })
+	reg.CounterFunc("trenv_page_major_faults_total",
+		"Major page faults requiring a remote fetch.", labels,
+		func() int64 { return s.MajorFaults })
+	reg.CounterFunc("trenv_page_cow_copies_total",
+		"Pages copied on write to protected memory.", labels,
+		func() int64 { return s.CowPages })
+	reg.CounterFunc("trenv_page_fetched_total",
+		"Pages pulled from RDMA/NAS pools.", labels,
+		func() int64 { return s.FetchedPages })
+	reg.CounterFunc("trenv_page_direct_access_total",
+		"CXL pages used via direct loads (no fault).", labels,
+		func() int64 { return s.DirectAccess })
+	reg.CounterFunc("trenv_page_local_allocated_bytes_total",
+		"Bytes of node DRAM allocated by page faults and restores.", labels,
+		func() int64 { return s.LocalAllocated })
+}

@@ -194,7 +194,8 @@ type AddressSpace struct {
 	local *mem.Tracker
 	lat   mem.LatencyModel
 	stats Stats
-	rss   int64 // bytes of local DRAM held
+	sink  *Stats // optional shared aggregate mirroring every stats update
+	rss   int64  // bytes of local DRAM held
 }
 
 // NewAddressSpace creates an empty address space charging local pages to
@@ -205,6 +206,12 @@ func NewAddressSpace(local *mem.Tracker, lat mem.LatencyModel) *AddressSpace {
 
 // Stats returns accumulated fault statistics.
 func (as *AddressSpace) Stats() Stats { return as.stats }
+
+// SetStatsSink mirrors every subsequent stats update into s in addition
+// to the per-space accounting. One sink is typically shared by every
+// address space on a node, giving node-level fault/traffic counters for
+// the metrics registry. Pass nil to detach.
+func (as *AddressSpace) SetStatsSink(s *Stats) { as.sink = s }
 
 // RSS returns the bytes of node DRAM currently held.
 func (as *AddressSpace) RSS() int64 { return as.rss }
@@ -323,6 +330,9 @@ func (as *AddressSpace) allocLocal(bytes int64) error {
 	}
 	as.rss += bytes
 	as.stats.LocalAllocated += bytes
+	if as.sink != nil {
+		as.sink.LocalAllocated += bytes
+	}
 	return nil
 }
 
@@ -485,12 +495,19 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 		lat += pool.DirectAccessCost(n)
 	}
 	res.Latency = lat
-	as.stats.MinorFaults += int64(res.MinorFaults)
-	as.stats.MajorFaults += int64(res.MajorFaults)
-	as.stats.CowPages += int64(res.CowPages)
-	as.stats.FetchedPages += int64(res.FetchedPages)
-	as.stats.DirectAccess += int64(res.DirectPages)
+	as.stats.addAccess(res)
+	if as.sink != nil {
+		as.sink.addAccess(res)
+	}
 	return res, nil
+}
+
+func (s *Stats) addAccess(res AccessResult) {
+	s.MinorFaults += int64(res.MinorFaults)
+	s.MajorFaults += int64(res.MajorFaults)
+	s.CowPages += int64(res.CowPages)
+	s.FetchedPages += int64(res.FetchedPages)
+	s.DirectAccess += int64(res.DirectPages)
 }
 
 // Grow extends v by pages of demand-zero memory (e.g. heap growth via

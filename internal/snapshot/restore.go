@@ -69,6 +69,14 @@ func (r *Restored) ReleaseAll() {
 	}
 }
 
+// SetStatsSink mirrors fault accounting from every restored address
+// space into s (see pagetable.AddressSpace.SetStatsSink).
+func (r *Restored) SetStatsSink(s *pagetable.Stats) {
+	for _, as := range r.Spaces {
+		as.SetStatsSink(s)
+	}
+}
+
 // layout rebuilds a snapshot's VMAs into fresh address spaces using the
 // same deterministic layout as Store.Preprocess. backing, if non-nil, is
 // applied to every region.

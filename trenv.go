@@ -36,6 +36,7 @@ package trenv
 import (
 	"io"
 	"math/rand"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/cluster"
@@ -308,6 +309,51 @@ func WriteChromeTrace(w io.Writer, roots []*Span) error { return obs.WriteChrome
 
 // WriteSpansJSONL streams root spans as one JSON object per line.
 func WriteSpansJSONL(w io.Writer, roots []*Span) error { return obs.WriteJSONL(w, roots) }
+
+// FlightRecorder snapshots a registry's series over virtual time into
+// bounded ring-buffer time series (counters also carry a per-second
+// rate of change). Attach one to a platform or cluster before RunTrace.
+type FlightRecorder = obs.Recorder
+
+// NewFlightRecorder returns a recorder over reg; capacity <= 0 selects
+// the default per-series ring size.
+func NewFlightRecorder(reg *MetricsRegistry, capacity int) *FlightRecorder {
+	return obs.NewRecorder(reg, capacity)
+}
+
+// RecorderSet groups several runs' recorders under run names for one
+// combined export (cmd/trenv-bench -timeseries).
+type RecorderSet = obs.RecorderSet
+
+// NewRecorderSet builds a set whose recorders sample every interval
+// into rings of the given capacity (defaults apply when <= 0).
+func NewRecorderSet(every time.Duration, capacity int) *RecorderSet {
+	return obs.NewRecorderSet(every, capacity)
+}
+
+// SLO is a per-function latency objective (ContainerConfig.SLOTarget /
+// SLOObjective configure the platform-wide default).
+type SLO = obs.SLO
+
+// SLOTracker records per-function compliance and burn rates over
+// sliding virtual-time windows; see ContainerPlatform.SLO.
+type SLOTracker = obs.SLOTracker
+
+// SchedulerTraceLog is the engine's bounded scheduler-event ring
+// (Engine.AttachTraceLog).
+type SchedulerTraceLog = sim.TraceLog
+
+// RegisterSchedulerTraceLog publishes a scheduler trace log's drop
+// counter (trenv_sim_trace_dropped_total) into a metrics registry.
+func RegisterSchedulerTraceLog(reg *MetricsRegistry, labels map[string]string, log *SchedulerTraceLog) {
+	obs.RegisterTraceLog(reg, labels, log)
+}
+
+// RegisterTracerDrops publishes a span tracer's drop counter
+// (trenv_spans_dropped_total) into a metrics registry.
+func RegisterTracerDrops(reg *MetricsRegistry, labels map[string]string, tr *Tracer) {
+	obs.RegisterTracerDrops(reg, labels, tr)
+}
 
 // ---------------------------------------------------------------------
 // Experiment harness (every table and figure of the evaluation).
