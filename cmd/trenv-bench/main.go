@@ -5,14 +5,19 @@
 //
 //	trenv-bench [-exp table1,fig17,...|all] [-seed N] [-scale F]
 //	            [-json] [-trace out.json] [-timeseries out.json]
+//	            [-analyze report.json] [-flame out.folded]
 //
 // -json prints the results as a JSON array instead of paper-style text;
 // -trace collects every invocation's span tree during the runs and
 // writes them as Chrome trace-event JSON (open in chrome://tracing or
 // Perfetto); -timeseries samples the trace-driven figure runs into
 // utilization-over-time series and writes them as JSON (or CSV when
-// the filename ends in .csv). Same-seed runs write byte-identical
-// time-series files.
+// the filename ends in .csv); -analyze writes the trace-analytics
+// report (top-k slowest invocations with critical paths, per-function
+// phase attribution, tail-vs-median diffs) as JSON; -flame writes the
+// recorded spans as folded flamegraph stacks (flamegraph.pl /
+// speedscope compatible). Same-seed runs write byte-identical
+// time-series, analysis, and flamegraph files.
 package main
 
 import (
@@ -35,6 +40,8 @@ func main() {
 	out := flag.String("out", "", "also write the output to this file")
 	tracePath := flag.String("trace", "", "write invocation spans as Chrome trace JSON to this file")
 	tsPath := flag.String("timeseries", "", "write per-run metric time series to this file (.csv for CSV, else JSON)")
+	analyzePath := flag.String("analyze", "", "write the trace-analytics report as JSON to this file")
+	flamePath := flag.String("flame", "", "write recorded spans as folded flamegraph stacks to this file")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	flag.Parse()
 
@@ -56,7 +63,7 @@ func main() {
 		return
 	}
 	o := experiments.Options{Seed: *seed, Scale: *scale}
-	if *tracePath != "" {
+	if *tracePath != "" || *analyzePath != "" || *flamePath != "" {
 		o.Tracer = obs.NewTracer(0)
 	}
 	if *tsPath != "" {
@@ -109,6 +116,44 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trenv-bench: wrote %d spans (%d dropped) to %s\n",
 			o.Tracer.Len(), o.Tracer.Dropped(), *tracePath)
+	}
+	if *analyzePath != "" {
+		f, err := os.Create(*analyzePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep := obs.Analyze(o.Tracer.Spans(), 0)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trenv-bench: write analysis: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: close analysis: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trenv-bench: wrote analysis of %d invocations to %s\n",
+			rep.Invocations, *analyzePath)
+	}
+	if *flamePath != "" {
+		f, err := os.Create(*flamePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteFolded(f, o.Tracer.Spans()); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trenv-bench: write flame: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: close flame: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trenv-bench: wrote folded stacks to %s\n", *flamePath)
 	}
 	if *tsPath != "" {
 		f, err := os.Create(*tsPath)

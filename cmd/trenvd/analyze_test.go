@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// getOK fetches url and returns the response body, failing on a
+// non-200 status.
+func getOK(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status = %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func TestAnalyzeEndpointServesReport(t *testing.T) {
+	ts := testServer(t)
+	deployAndInvoke(t, ts.URL)
+
+	var rep struct {
+		Invocations int `json:"invocations"`
+		Errors      int `json:"errors"`
+		Slowest     []struct {
+			TraceID      string `json:"trace_id"`
+			Function     string `json:"function"`
+			CriticalPath []struct {
+				Name   string  `json:"name"`
+				SelfUs float64 `json:"self_us"`
+			} `json:"critical_path"`
+		} `json:"slowest"`
+		Attribution []struct {
+			Function string `json:"function"`
+			Phases   []struct {
+				Phase string  `json:"phase"`
+				P99Us float64 `json:"p99_us"`
+			} `json:"phases"`
+		} `json:"attribution"`
+		Exemplars []struct {
+			Series  string `json:"series"`
+			TraceID string `json:"trace_id"`
+		} `json:"exemplars"`
+	}
+	if err := json.Unmarshal(getOK(t, ts.URL+"/analyze"), &rep); err != nil {
+		t.Fatalf("invalid analyze JSON: %v", err)
+	}
+	if rep.Invocations != 4 || rep.Errors != 0 {
+		t.Fatalf("invocations=%d errors=%d, want 4/0", rep.Invocations, rep.Errors)
+	}
+	if len(rep.Slowest) != 4 {
+		t.Fatalf("slowest has %d entries, want 4", len(rep.Slowest))
+	}
+	for _, s := range rep.Slowest {
+		if s.TraceID == "" || s.Function != "JS" || len(s.CriticalPath) == 0 {
+			t.Fatalf("bad slowest entry %+v", s)
+		}
+		if s.CriticalPath[0].Name != "invoke/JS" {
+			t.Fatalf("critical path starts at %q, want invoke/JS", s.CriticalPath[0].Name)
+		}
+	}
+	if len(rep.Attribution) != 1 || rep.Attribution[0].Function != "JS" || len(rep.Attribution[0].Phases) == 0 {
+		t.Fatalf("bad attribution %+v", rep.Attribution)
+	}
+	if len(rep.Exemplars) == 0 {
+		t.Fatal("report carries no exemplar links")
+	}
+	for _, ex := range rep.Exemplars {
+		if ex.TraceID == "" || !strings.HasPrefix(ex.Series, "trenv_e2e_latency_ms{") {
+			t.Fatalf("bad exemplar link %+v", ex)
+		}
+	}
+
+	// ?top bounds the slowest table.
+	if err := json.Unmarshal(getOK(t, ts.URL+"/analyze?top=1"), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Slowest) != 1 {
+		t.Fatalf("top=1 returned %d slowest entries", len(rep.Slowest))
+	}
+}
+
+func TestAnalyzeReportByteIdenticalAcrossSameSeedServers(t *testing.T) {
+	a := testServer(t)
+	deployAndInvoke(t, a.URL)
+	b := testServer(t)
+	deployAndInvoke(t, b.URL)
+
+	repA := getOK(t, a.URL+"/analyze")
+	repB := getOK(t, b.URL+"/analyze")
+	if string(repA) != string(repB) {
+		t.Fatalf("analyze reports differ across same-seed servers:\n%s\n---\n%s", repA, repB)
+	}
+	flameA := getOK(t, a.URL+"/flame?format=folded")
+	flameB := getOK(t, b.URL+"/flame?format=folded")
+	if string(flameA) != string(flameB) {
+		t.Fatalf("flamegraphs differ across same-seed servers:\n%s\n---\n%s", flameA, flameB)
+	}
+}
+
+func TestFlameEndpointServesFoldedStacks(t *testing.T) {
+	ts := testServer(t)
+	deployAndInvoke(t, ts.URL)
+
+	out := string(getOK(t, ts.URL+"/flame"))
+	if out == "" {
+		t.Fatal("empty flamegraph")
+	}
+	sawExec := false
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		fields := strings.Fields(ln)
+		if len(fields) != 2 {
+			t.Fatalf("malformed folded line %q", ln)
+		}
+		if strings.HasPrefix(fields[0], "invoke/JS;") && strings.HasSuffix(fields[0], ";exec") {
+			sawExec = true
+		}
+	}
+	if !sawExec {
+		t.Fatalf("no invoke/JS;...;exec stack in flamegraph:\n%s", out)
+	}
+}
+
+// TestUnknownFormatIsConsistentJSON400 checks every export route
+// rejects an unknown ?format= with the same JSON error shape.
+func TestUnknownFormatIsConsistentJSON400(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/timeseries", "/trace", "/flame", "/analyze"} {
+		resp, err := http.Get(ts.URL + path + "?format=bogus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s status = %d, want 400", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s content-type = %q, want JSON", path, ct)
+		}
+		var out map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("%s body not JSON: %v", path, err)
+		}
+		resp.Body.Close()
+		if !strings.Contains(out["error"], `bad format="bogus"`) {
+			t.Fatalf("%s error = %q, want bad format mention", path, out["error"])
+		}
+	}
+}

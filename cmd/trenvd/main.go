@@ -22,6 +22,13 @@
 //	GET  /metrics              Prometheus text-format metrics
 //	GET  /timeseries           flight-recorder series (?format=csv for CSV)
 //	GET  /trace?last=N         Chrome trace JSON of the last N invocations
+//	                           (?format=jsonl for span JSONL)
+//	GET  /analyze              trace analytics: top-k slowest invocations
+//	                           with critical paths, per-function phase
+//	                           attribution, tail-vs-median diffs, exemplar
+//	                           links (?last=N ?top=K)
+//	GET  /flame                folded-stack flamegraph of recorded spans
+//	                           (?format=folded; flamegraph.pl compatible)
 //	GET  /experiments          list experiment IDs
 //	POST /experiments/run      {"id":"fig23","scale":0.2} regenerate one
 package main
@@ -111,6 +118,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/timeseries", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /trace", s.trace)
 	mux.HandleFunc("/trace", methodNotAllowed("GET"))
+	mux.HandleFunc("GET /analyze", s.analyze)
+	mux.HandleFunc("/analyze", methodNotAllowed("GET"))
+	mux.HandleFunc("GET /flame", s.flame)
+	mux.HandleFunc("/flame", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /experiments", s.listExperiments)
 	mux.HandleFunc("/experiments", methodNotAllowed("GET"))
 	mux.HandleFunc("POST /experiments/run", s.runExperiment)
@@ -160,6 +171,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseFormat validates ?format= against a route's choices. An empty
+// format selects the first choice; anything else gets the same JSON 400
+// on every export route. Returns ok=false after writing the error.
+func parseFormat(w http.ResponseWriter, r *http.Request, choices ...string) (string, bool) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		return choices[0], true
+	}
+	for _, c := range choices {
+		if format == c {
+			return format, true
+		}
+	}
+	httpError(w, http.StatusBadRequest, "bad format=%q (want one of %s)", format, strings.Join(choices, ", "))
+	return "", false
+}
+
+// parseLast validates ?last= (0 = everything). Returns ok=false after
+// writing a JSON 400 for a malformed value.
+func parseLast(w http.ResponseWriter, r *http.Request) (int, bool) {
+	q := r.URL.Query().Get("last")
+	if q == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		httpError(w, http.StatusBadRequest, "bad last=%q (want a non-negative integer)", q)
+		return 0, false
+	}
+	return n, true
 }
 
 func (s *server) listFunctions(w http.ResponseWriter, r *http.Request) {
@@ -280,9 +323,8 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 // CSV with ?format=csv. Same-seed servers driven with identical batches
 // produce byte-identical exports.
 func (s *server) timeseries(w http.ResponseWriter, r *http.Request) {
-	format := r.URL.Query().Get("format")
-	if format != "" && format != "json" && format != "csv" {
-		httpError(w, http.StatusBadRequest, "bad format=%q (want json or csv)", format)
+	format, ok := parseFormat(w, r, "json", "csv")
+	if !ok {
 		return
 	}
 	s.mu.Lock()
@@ -309,23 +351,82 @@ func (s *server) timeseries(w http.ResponseWriter, r *http.Request) {
 }
 
 // trace serves the most recent invocation span trees as Chrome
-// trace-event JSON (open in chrome://tracing or Perfetto).
+// trace-event JSON (open in chrome://tracing or Perfetto), or as span
+// JSONL with ?format=jsonl.
 func (s *server) trace(w http.ResponseWriter, r *http.Request) {
-	last := 0
-	if q := r.URL.Query().Get("last"); q != "" {
-		n, err := strconv.Atoi(q)
-		if err != nil || n < 0 {
-			httpError(w, http.StatusBadRequest, "bad last=%q (want a non-negative integer)", q)
-			return
-		}
-		last = n
+	format, ok := parseFormat(w, r, "chrome", "jsonl")
+	if !ok {
+		return
+	}
+	last, ok := parseLast(w, r)
+	if !ok {
+		return
 	}
 	s.mu.Lock()
 	roots := s.tracer.Last(last)
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	if err := trenv.WriteChromeTrace(w, roots); err != nil {
+	var err error
+	if format == "jsonl" {
+		err = trenv.WriteSpansJSONL(w, roots)
+	} else {
+		err = trenv.WriteChromeTrace(w, roots)
+	}
+	if err != nil {
 		log.Printf("trenvd: write trace: %v", err)
+	}
+}
+
+// analyze serves the trace-analytics report: top-k slowest invocations
+// with critical paths, per-function phase attribution at P50/P99/P999,
+// tail-vs-median span diffs, and exemplar links into /metrics. Reports
+// from same-seed servers driven with identical batches are
+// byte-identical.
+func (s *server) analyze(w http.ResponseWriter, r *http.Request) {
+	if _, ok := parseFormat(w, r, "json"); !ok {
+		return
+	}
+	last, ok := parseLast(w, r)
+	if !ok {
+		return
+	}
+	top := 0
+	if q := r.URL.Query().Get("top"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "bad top=%q (want a positive integer)", q)
+			return
+		}
+		top = n
+	}
+	s.mu.Lock()
+	rep := trenv.AnalyzeSpans(s.tracer.Last(last), top)
+	rep.Exemplars = s.platform.Metrics().ExemplarLinks()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// flame serves recorded spans as folded flamegraph stacks
+// (flamegraph.pl / speedscope compatible).
+func (s *server) flame(w http.ResponseWriter, r *http.Request) {
+	if _, ok := parseFormat(w, r, "folded"); !ok {
+		return
+	}
+	last, ok := parseLast(w, r)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	roots := s.tracer.Last(last)
+	s.mu.Unlock()
+	var buf bytes.Buffer
+	if err := trenv.WriteFoldedStacks(&buf, roots); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("trenvd: write flame: %v", err)
 	}
 }
 

@@ -54,15 +54,28 @@ func TestMetricsEndpointServesPrometheus(t *testing.T) {
 			t.Fatalf("metrics output missing %q:\n%s", want, out)
 		}
 	}
-	// Every non-comment line is "name{labels} value" — a cheap
-	// text-format validity check.
+	// Every non-comment line is "name{labels} value", optionally
+	// followed by an OpenMetrics exemplar ("... # {trace_id=...} v") —
+	// a cheap text-format validity check.
+	exemplars := 0
 	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
 		if strings.HasPrefix(ln, "#") {
 			continue
 		}
+		if i := strings.Index(ln, " # "); i >= 0 {
+			ex := ln[i+3:]
+			if !strings.HasPrefix(ex, `{trace_id="`) || len(strings.Fields(ex)) != 2 {
+				t.Fatalf("malformed exemplar on line %q", ln)
+			}
+			exemplars++
+			ln = ln[:i]
+		}
 		if fields := strings.Fields(ln); len(fields) != 2 {
 			t.Fatalf("malformed metrics line %q", ln)
 		}
+	}
+	if exemplars == 0 {
+		t.Fatal("no exemplars exported after invocations")
 	}
 }
 
@@ -70,7 +83,7 @@ func TestTraceEndpointServesChromeJSON(t *testing.T) {
 	ts := testServer(t)
 	deployAndInvoke(t, ts.URL)
 
-	resp, err := http.Get(ts.URL + "/trace?last=2")
+	resp, err := http.Get(ts.URL + "/trace")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,8 +113,8 @@ func TestTraceEndpointServesChromeJSON(t *testing.T) {
 			roots++
 		}
 	}
-	if roots != 2 {
-		t.Fatalf("got %d invoke roots, want 2 (last=2)", roots)
+	if roots != 4 {
+		t.Fatalf("got %d invoke roots, want 4", roots)
 	}
 
 	// Bad query parameter rejected.
@@ -121,6 +134,8 @@ func TestMethodNotAllowedIsJSON(t *testing.T) {
 		"/metrics":     http.MethodPost,
 		"/timeseries":  http.MethodPost,
 		"/trace":       http.MethodDelete,
+		"/analyze":     http.MethodPost,
+		"/flame":       http.MethodPost,
 		"/invoke":      http.MethodGet,
 		"/stats":       http.MethodPost,
 		"/experiments": http.MethodPut,

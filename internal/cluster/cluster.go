@@ -43,12 +43,16 @@ func New(n int, cfg faas.Config) (*Cluster, error) {
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	cxl := mem.NewPool(mem.CXL, cfg.CXLCapacity, mem.DefaultLatencyModel())
+	// The shared pool lives on the rack's memory server, not on any
+	// compute node — remote-fetch spans report it as their home.
+	cxl.SetHome("mem0")
 	store := snapshot.NewStore(mem.NewBlockStore(cxl), mmtemplate.NewRegistry())
 	c := &Cluster{eng: eng, cxl: cxl, store: store, down: make(map[int]bool)}
 	for i := 0; i < n; i++ {
 		nodeCfg := cfg
 		nodeCfg.Engine = eng
 		nodeCfg.SharedStore = store
+		nodeCfg.Node = fmt.Sprintf("n%d", i)
 		c.nodes = append(c.nodes, faas.New(nodeCfg))
 	}
 	return c, nil
@@ -132,7 +136,7 @@ func (c *Cluster) pick(fn string) *faas.Platform {
 // time arrives (so warm state is inspected at dispatch, not at submit).
 func (c *Cluster) Invoke(at time.Duration, fn string) {
 	c.eng.At(at, "dispatch/"+fn, func(p *sim.Proc) {
-		c.pick(fn).InvokeNow(p, fn)
+		c.pick(fn).InvokeDispatched(p, fn, "rack")
 	})
 }
 

@@ -59,13 +59,16 @@ func NewMultiRack(racks, nodesPerRack int, cfg faas.Config) (*MultiRack, error) 
 		homes:  make(map[string]int),
 	}
 	m.fabricStore = snapshot.NewStore(mem.NewBlockStore(m.fabric), mmtemplate.NewRegistry())
+	m.fabric.SetHome("fabric")
 	for r := 0; r < racks; r++ {
 		rk := &rack{cxl: mem.NewPool(mem.CXL, cfg.CXLCapacity, lat)}
+		rk.cxl.SetHome(fmt.Sprintf("r%dmem", r))
 		rk.store = snapshot.NewStore(mem.NewBlockStore(rk.cxl), mmtemplate.NewRegistry())
 		for n := 0; n < nodesPerRack; n++ {
 			nodeCfg := cfg
 			nodeCfg.Engine = eng
 			nodeCfg.SharedStore = rk.store
+			nodeCfg.Node = fmt.Sprintf("r%dn%d", r, n)
 			rk.nodes = append(rk.nodes, faas.New(nodeCfg))
 		}
 		m.racks = append(m.racks, rk)
@@ -166,7 +169,11 @@ func (m *MultiRack) Invoke(at time.Duration, fn string) {
 		if spilled {
 			m.spillovers.Inc()
 		}
-		node.InvokeNow(p, fn)
+		dispatcher := "fleet"
+		if spilled {
+			dispatcher = "fleet-spill"
+		}
+		node.InvokeDispatched(p, fn, dispatcher)
 	})
 }
 

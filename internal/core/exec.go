@@ -26,6 +26,12 @@ type ExecStats struct {
 	MemOverhead time.Duration // fault/fetch/CoW/direct-access latency
 	CPUWait     time.Duration // queueing delay for a core
 	Total       time.Duration
+	// Remote-memory attribution: pages pulled from remote pools during
+	// execution, the latency those pulls contributed, and the pool kind
+	// that served most of them ("" when nothing was fetched).
+	FetchedPages int
+	FetchLat     time.Duration
+	FetchPool    string
 }
 
 // PromoteWorkingSet copies the instance's hot read-only pages from the
@@ -85,6 +91,11 @@ func (rt *Runtime) Execute(p *sim.Proc, in *Instance, opts ExecOptions) (ExecSta
 		memLat += res.Latency
 		directPages += res.DirectPages
 		readPages += a.ReadPages
+		st.FetchedPages += res.FetchedPages
+		st.FetchLat += res.FetchLat
+		if st.FetchPool == "" {
+			st.FetchPool = res.FetchPool
+		}
 	}
 	// Hot read-only data living on CXL slows every pass over it, not just
 	// the first touch: charge the profile's inflation scaled by how much

@@ -61,6 +61,10 @@ type Instance struct {
 	// IdleSince is set by the platform when the instance enters the
 	// keep-alive pool.
 	IdleSince time.Duration
+	// LastTraceID is the trace of the most recent invocation this
+	// instance served — what a later keep-alive expiry span links back
+	// to ("this environment died idle after trace X").
+	LastTraceID string
 	// Uses counts invocations served.
 	Uses int
 }
@@ -86,6 +90,11 @@ type Startup struct {
 	// RestoreBD decomposes Restore into copy/attach/mmap/proc phases.
 	// Restore minus RestoreBD.Total() is bootstrap/dispatch work.
 	RestoreBD snapshot.Breakdown
+	// RestorePool/RestorePages describe where the restore's copy phase
+	// read memory from ("" when the path copied nothing) — stamped onto
+	// the restore span so tail analysis can blame the medium.
+	RestorePool  string
+	RestorePages int64
 }
 
 // Total returns the startup latency.
@@ -229,7 +238,8 @@ func (rt *Runtime) StartCRIU(p *sim.Proc, prof workload.FunctionProfile, snap *s
 	}
 	rbd := res.BD
 	rbd.Copy += restore - res.Latency // concurrent-restore sharing surcharge
-	st := Startup{Path: PathCRIU, Sandbox: bd.Total(), Restore: restore, SandboxBD: bd, RestoreBD: rbd}
+	st := Startup{Path: PathCRIU, Sandbox: bd.Total(), Restore: restore, SandboxBD: bd, RestoreBD: rbd,
+		RestorePool: res.CopyPool, RestorePages: res.CopyPages}
 	return &Instance{Function: prof.Name, Profile: prof, Sandbox: sb, Restored: res,
 		Procs: procs, Path: PathCRIU, OverheadBytes: rt.ContainerOverhead}, st, nil
 }
@@ -270,7 +280,8 @@ func (rt *Runtime) StartLazyVM(p *sim.Proc, prof workload.FunctionProfile, snap 
 		return nil, Startup{}, err
 	}
 	st := Startup{Path: PathLazyVM, Sandbox: sandboxCost, Restore: res.Latency,
-		SandboxBD: sbd, RestoreBD: res.BD}
+		SandboxBD: sbd, RestoreBD: res.BD,
+		RestorePool: res.CopyPool, RestorePages: res.CopyPages}
 	return &Instance{Function: prof.Name, Profile: prof, NetNS: ns, Restored: res,
 		Procs: procs, Path: PathLazyVM, OverheadBytes: rt.VMOverhead}, st, nil
 }
@@ -360,7 +371,8 @@ func (rt *Runtime) StartReconfig(p *sim.Proc, prof workload.FunctionProfile, sna
 	rbd := res.BD
 	rbd.Copy += restore - res.Latency
 	st := Startup{Path: path, Sandbox: sandboxCost, Restore: restore,
-		SandboxBD: sbd, RestoreBD: rbd}
+		SandboxBD: sbd, RestoreBD: rbd,
+		RestorePool: res.CopyPool, RestorePages: res.CopyPages}
 	return &Instance{Function: prof.Name, Profile: prof, Sandbox: sb, Restored: res,
 		Procs: procs, Path: path, OverheadBytes: rt.ContainerOverhead}, st, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -41,15 +42,21 @@ func StartupSpan(st Startup, at time.Duration) *obs.Span {
 	if st.Restore > 0 {
 		rs := root.Child("restore", cursor, cursor+st.Restore)
 		c := cursor
-		add := func(name string, d time.Duration) {
-			if d > 0 {
-				rs.Child(name, c, c+d)
-				c += d
+		add := func(name string, d time.Duration) *obs.Span {
+			if d <= 0 {
+				return nil
 			}
+			sp := rs.Child(name, c, c+d)
+			c += d
+			return sp
 		}
 		add("orchestration", st.RestoreBD.Orchestration)
 		add("mmap", st.RestoreBD.Mmap)
-		add("copy", st.RestoreBD.Copy)
+		if cp := add("copy", st.RestoreBD.Copy); cp != nil && st.RestorePool != "" {
+			// Where the copy read memory from — what tail analysis blames.
+			cp.SetAttr("pool", st.RestorePool)
+			cp.SetAttr("pages", strconv.FormatInt(st.RestorePages, 10))
+		}
 		add("attach", st.RestoreBD.Attach)
 		add("procs", st.RestoreBD.Procs)
 		// Residual restore time is runtime bootstrap (cold init) or the

@@ -18,6 +18,7 @@ package faas
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -58,6 +59,10 @@ func (p Policy) IsTrEnv() bool {
 type Config struct {
 	Policy Policy
 	Seed   int64
+	// Node names this platform's node in exported spans and metrics
+	// ("" = "n0"). Clusters set it per member ("n3", "r1n2") so
+	// cross-node causal chains name where each hop ran.
+	Node string
 	// Cores is the node's physical core count.
 	Cores int
 	// SoftMemCap triggers idle-instance eviction when node usage would
@@ -170,6 +175,15 @@ type Platform struct {
 	recorder *obs.Recorder
 	recEvery time.Duration
 
+	// nodeName labels spans/IDs; invSeq numbers invocations so trace
+	// identity is deterministic (hash of node, function, sequence).
+	nodeName string
+	invSeq   int64
+	// pendingDispatch carries the dispatcher label from
+	// InvokeDispatched to the next invoke() entry (consumed before any
+	// simulated wait, so concurrent invocations cannot observe it).
+	pendingDispatch string
+
 	// Per-function admission control (MaxPerFunction).
 	running map[string]int
 	waiting map[string][]*sim.Proc
@@ -212,6 +226,10 @@ func New(cfg Config) *Platform {
 		sampleStep: time.Second,
 		running:    make(map[string]int),
 		waiting:    make(map[string][]*sim.Proc),
+		nodeName:   cfg.Node,
+	}
+	if pl.nodeName == "" {
+		pl.nodeName = "n0"
 	}
 	pl.rt.Lat = lat
 	if cfg.SLOTarget > 0 {
@@ -231,8 +249,23 @@ func New(cfg Config) *Platform {
 	default:
 		pl.store = snapshot.NewStore(mem.NewBlockStore(pl.cxl), mmtemplate.NewRegistry())
 	}
+	// Rack-attached nodes keep their cold tier on the memory server too:
+	// a cold-tail RDMA fetch is a cross-node operation there.
+	if cfg.SharedStore != nil && pl.cxl.Home() != "" {
+		pl.rdma.SetHome(pl.cxl.Home())
+	}
+	// Label remaining unplaced pools with their hosting node; a
+	// rack-shared pool keeps the home the cluster stamped on it.
+	for _, pool := range []*mem.Pool{pl.cxl, pl.rdma, pl.tmpfs} {
+		if pool.Home() == "" {
+			pool.SetHome(pl.nodeName)
+		}
+	}
 	return pl
 }
+
+// NodeName returns the node label this platform stamps on spans.
+func (pl *Platform) NodeName() string { return pl.nodeName }
 
 // Engine exposes the simulation engine (for composing experiments).
 func (pl *Platform) Engine() *sim.Engine { return pl.eng }
@@ -444,9 +477,27 @@ func (pl *Platform) parkWarm(in *core.Instance) {
 			return
 		}
 		pl.eng.Go("expire/"+in.Function, func(p *sim.Proc) {
+			t0 := p.Now()
 			pl.release(p, in)
+			pl.recordLifecycle("expire/"+in.Function, in.Function, t0, p.Now(),
+				in.LastTraceID, "after")
 		})
 	})
+}
+
+// recordLifecycle records a non-invocation root span (keep-alive
+// eviction, expiry) causally linked to the invocation trace that led
+// to it. The tracer assigns the span's own deterministic trace ID.
+func (pl *Platform) recordLifecycle(name, fn string, start, end time.Duration, cause, causeType string) {
+	if pl.tracer == nil {
+		return
+	}
+	sp := obs.NewSpan(name, start, end)
+	sp.SetAttr("node", pl.nodeName).SetAttr("function", fn)
+	if cause != "" {
+		sp.AddLink(obs.Link{TraceID: cause, Type: causeType})
+	}
+	pl.tracer.Record(sp)
 }
 
 func (pl *Platform) removeWarm(in *core.Instance) bool {
@@ -467,8 +518,9 @@ func (pl *Platform) release(p *sim.Proc, in *core.Instance) {
 }
 
 // evictForSpace evicts least-recently-used idle instances while the soft
-// cap would be exceeded by an allocation of need bytes.
-func (pl *Platform) evictForSpace(p *sim.Proc, need int64) {
+// cap would be exceeded by an allocation of need bytes. traceID is the
+// admitting invocation the eviction spans link back to.
+func (pl *Platform) evictForSpace(p *sim.Proc, traceID string, need int64) {
 	if pl.cfg.SoftMemCap == 0 {
 		return
 	}
@@ -479,7 +531,10 @@ func (pl *Platform) evictForSpace(p *sim.Proc, need int64) {
 		}
 		pl.removeWarm(victim)
 		pl.metrics.Evictions.Inc()
+		t0 := p.Now()
 		pl.release(p, victim)
+		pl.recordLifecycle("evict/"+victim.Function, victim.Function, t0, p.Now(),
+			traceID, "evicted-by")
 	}
 }
 
@@ -579,23 +634,65 @@ func (pl *Platform) leave(name string) {
 
 // failInvocation counts a failed invocation and, when tracing, records
 // an error-status span covering [t0, now].
-func (pl *Platform) failInvocation(name string, t0, now time.Duration, err error) {
+func (pl *Platform) failInvocation(traceID, name string, t0, now time.Duration, err error) {
 	pl.metrics.Errors.Inc()
 	if pl.tracer == nil {
 		return
 	}
 	sp := obs.NewSpan("invoke/"+name, t0, now)
-	sp.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy))
+	sp.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy)).SetAttr("node", pl.nodeName)
 	sp.Fail(err)
+	sp.AssignIDs(traceID)
 	pl.tracer.Record(sp)
+}
+
+// poolByKind maps a pool-kind label back to the platform's pool.
+func (pl *Platform) poolByKind(kind string) *mem.Pool {
+	for _, pool := range []*mem.Pool{pl.cxl, pl.rdma, pl.tmpfs} {
+		if pool.Kind().String() == kind {
+			return pool
+		}
+	}
+	return nil
+}
+
+// emitPoolFetch records the pool-side half of a remote memory fetch —
+// a root span on the pool's home node, cross-linked with the
+// invocation-side span (target must already have its IDs assigned) —
+// so a remote restore/exec fetch is walkable across nodes as one
+// causal chain. site disambiguates multiple fetches in one invocation
+// ("exec", "restore").
+func (pl *Platform) emitPoolFetch(target *obs.Span, fn, kind, site string, seq int64) {
+	home := pl.nodeName
+	if pool := pl.poolByKind(kind); pool != nil && pool.Home() != "" {
+		home = pool.Home()
+	}
+	ftid := obs.TraceIDFor(home, "pool-fetch", kind, site, fn, strconv.FormatInt(seq, 10))
+	ps := obs.NewSpan("pool-fetch/"+kind, target.Start, target.End)
+	ps.SetAttr("node", home).SetAttr("pool", kind).SetAttr("function", fn).SetAttr("site", site)
+	if pages := target.Attrs["pages"]; pages != "" {
+		ps.SetAttr("pages", pages)
+	}
+	ps.AssignIDs(ftid)
+	ps.AddLink(obs.Link{TraceID: target.TraceID, SpanID: target.SpanID, Type: "serves"})
+	target.SetAttr("pool-node", home)
+	target.AddLink(obs.Link{TraceID: ftid, SpanID: ps.SpanID, Type: "remote-fetch"})
+	pl.tracer.Record(ps)
 }
 
 // invoke is the full lifecycle of one invocation.
 func (pl *Platform) invoke(p *sim.Proc, name string) {
 	tArrive := p.Now()
+	dispatcher := pl.pendingDispatch
+	pl.pendingDispatch = ""
+	seq := pl.invSeq
+	pl.invSeq++
+	// Trace identity is a hash of (node, function, sequence): no
+	// randomness, no wall clock, so same-seed runs reproduce it.
+	traceID := obs.TraceIDFor(pl.nodeName, name, strconv.FormatInt(seq, 10))
 	fn, ok := pl.fns[name]
 	if !ok {
-		pl.failInvocation(name, tArrive, p.Now(), fmt.Errorf("function %q not registered", name))
+		pl.failInvocation(traceID, name, tArrive, p.Now(), fmt.Errorf("function %q not registered", name))
 		return
 	}
 	pl.active++
@@ -613,12 +710,12 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		p.Sleep(pl.cfg.WarmReuse)
 		st = core.Startup{Path: core.PathWarm, Restore: pl.cfg.WarmReuse}
 	} else {
-		pl.evictForSpace(p, pl.estimateStartBytes(fn))
+		pl.evictForSpace(p, traceID, pl.estimateStartBytes(fn))
 		tStart = p.Now() // soft-cap eviction work ends here
 		var err error
 		in, st, err = pl.start(p, fn)
 		if err != nil {
-			pl.failInvocation(name, tArrive, p.Now(), err)
+			pl.failInvocation(traceID, name, tArrive, p.Now(), err)
 			return
 		}
 	}
@@ -626,7 +723,7 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 	if pl.cfg.PromoteHotAfter > 0 && in.Uses >= pl.cfg.PromoteHotAfter {
 		promoted, err := pl.rt.PromoteWorkingSet(in)
 		if err != nil {
-			pl.failInvocation(name, tArrive, p.Now(), err)
+			pl.failInvocation(traceID, name, tArrive, p.Now(), err)
 			pl.release(p, in)
 			return
 		}
@@ -641,20 +738,31 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		ContentionPools: pl.contentionPools(),
 	})
 	if err != nil {
-		pl.failInvocation(name, tArrive, p.Now(), err)
+		pl.failInvocation(traceID, name, tArrive, p.Now(), err)
 		pl.release(p, in)
 		return
 	}
 	tEnd := p.Now()
+	in.LastTraceID = traceID
 	if t0 >= pl.cfg.Warmup {
 		pl.metrics.Record(name, st, es, tEnd-t0)
+		if pl.tracer != nil {
+			pl.metrics.ObserveExemplar(name, float64(tEnd-t0)/float64(time.Millisecond), traceID)
+		}
 		if pl.slo != nil {
 			pl.slo.Record(name, tEnd, tEnd-t0)
 		}
 	}
 	if pl.tracer != nil {
 		root := obs.NewSpan("invoke/"+name, tArrive, tEnd)
-		root.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy)).SetAttr("path", string(st.Path))
+		root.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy)).
+			SetAttr("path", string(st.Path)).SetAttr("node", pl.nodeName)
+		if dispatcher != "" {
+			// Zero-width placement step: the cluster picked this node at
+			// arrival time.
+			root.SetAttr("dispatcher", dispatcher)
+			root.Child("pick", tArrive, tArrive).SetAttr("dispatcher", dispatcher)
+		}
 		if tAdmit > tArrive {
 			root.Child("queue", tArrive, tAdmit)
 		}
@@ -668,6 +776,33 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		exec := root.Child("exec", tExec, tEnd)
 		if es.CPUWait > 0 {
 			exec.Child("cpu-wait", tExec, tExec+es.CPUWait)
+		}
+		var execFetch *obs.Span
+		if es.FetchedPages > 0 && es.FetchLat > 0 {
+			// The pages execution pulled from remote memory, placed right
+			// after the core was acquired (fetch latency is charged as
+			// on-CPU stall time).
+			fs := tExec + es.CPUWait
+			execFetch = exec.Child("remote-fetch", fs, fs+es.FetchLat)
+			execFetch.SetAttr("pool", es.FetchPool).
+				SetAttr("pages", strconv.Itoa(es.FetchedPages))
+		}
+		root.AssignIDs(traceID)
+		if execFetch != nil {
+			pl.emitPoolFetch(execFetch, name, es.FetchPool, "exec", seq)
+		}
+		if st.RestorePool != "" && st.RestorePool != "local" {
+			// The restore's copy phase read a remote medium: link its span
+			// with a pool-side twin on the medium's home node.
+			var copySp *obs.Span
+			root.Walk(func(_ int, sp *obs.Span) {
+				if copySp == nil && sp.Name == "copy" {
+					copySp = sp
+				}
+			})
+			if copySp != nil {
+				pl.emitPoolFetch(copySp, name, st.RestorePool, "restore", seq)
+			}
 		}
 		pl.tracer.Record(root)
 	}
@@ -699,6 +834,15 @@ func (pl *Platform) Invoke(at time.Duration, function string) {
 // InvokeNow runs one invocation inside the calling simulated process —
 // the cluster dispatcher uses this after picking a node at arrival time.
 func (pl *Platform) InvokeNow(p *sim.Proc, function string) { pl.invoke(p, function) }
+
+// InvokeDispatched is InvokeNow with the dispatcher's name stamped on
+// the invocation's root span (a zero-width "pick" step plus a
+// dispatcher= attribute), so a cluster trace shows where placement
+// happened before the node-local phases.
+func (pl *Platform) InvokeDispatched(p *sim.Proc, function, dispatcher string) {
+	pl.pendingDispatch = dispatcher
+	pl.invoke(p, function)
+}
 
 // startSampler records node DRAM usage once per sampleStep until the
 // trace has ended and no invocations remain active.

@@ -15,6 +15,10 @@ type FnMetrics struct {
 	Startup sim.Histogram
 	Exec    sim.Histogram
 	E2E     sim.Histogram
+	// E2EExemplars, when tracing is on, keeps per-bucket (value, trace)
+	// exemplars for the E2E distribution so /metrics tail buckets link
+	// to the exact invocation's span tree.
+	E2EExemplars *obs.ExemplarReservoir
 }
 
 // Metrics aggregates a platform run.
@@ -67,6 +71,49 @@ func (m *Metrics) Record(fn string, st core.Startup, es core.ExecStats, e2e time
 	case core.PathCRIU, core.PathLazyVM:
 		m.Restores.Inc()
 	}
+}
+
+// ObserveExemplar links one post-warmup invocation's E2E latency (ms)
+// to its trace, in both the function's reservoir and the aggregate.
+// Reservoir sampling streams are seeded per series, so a fixed
+// simulation seed retains the exact same exemplars.
+func (m *Metrics) ObserveExemplar(fn string, ms float64, traceID string) {
+	fm := m.Fn(fn)
+	if fm.E2EExemplars == nil {
+		fm.E2EExemplars = obs.NewExemplarReservoir(nil, 0, "e2e/"+fn)
+	}
+	fm.E2EExemplars.Observe(ms, traceID)
+	if m.All.E2EExemplars == nil {
+		m.All.E2EExemplars = obs.NewExemplarReservoir(nil, 0, "e2e/_all")
+	}
+	m.All.E2EExemplars.Observe(ms, traceID)
+}
+
+// ExemplarLinks flattens every retained E2E exemplar into resolvable
+// links (sorted by function, bucket, then reservoir slot) for the
+// analyzer report.
+func (m *Metrics) ExemplarLinks() []obs.ExemplarLink {
+	var out []obs.ExemplarLink
+	add := func(fn string, res *obs.ExemplarReservoir) {
+		if res == nil {
+			return
+		}
+		for _, b := range res.Snapshot() {
+			for _, e := range b.Exemplars {
+				out = append(out, obs.ExemplarLink{
+					Series:  `trenv_e2e_latency_ms{function="` + fn + `"}`,
+					Le:      obs.FormatLe(b.UpperBound),
+					Value:   e.Value,
+					TraceID: e.TraceID,
+				})
+			}
+		}
+	}
+	add("_all", m.All.E2EExemplars)
+	for _, name := range m.Functions() {
+		add(name, m.PerFn[name].E2EExemplars)
+	}
+	return out
 }
 
 // Invocations returns the recorded invocation count.
@@ -126,13 +173,15 @@ func (m *Metrics) RegisterLabeled(reg *obs.Registry, labels map[string]string) {
 	hists := []struct {
 		name, help string
 		sel        func(*FnMetrics) *sim.Histogram
+		exSel      func(*FnMetrics) *obs.ExemplarReservoir
 	}{
 		{"trenv_e2e_latency_ms", "End-to-end invocation latency in milliseconds.",
-			func(fm *FnMetrics) *sim.Histogram { return &fm.E2E }},
+			func(fm *FnMetrics) *sim.Histogram { return &fm.E2E },
+			func(fm *FnMetrics) *obs.ExemplarReservoir { return fm.E2EExemplars }},
 		{"trenv_startup_latency_ms", "Instance startup latency in milliseconds.",
-			func(fm *FnMetrics) *sim.Histogram { return &fm.Startup }},
+			func(fm *FnMetrics) *sim.Histogram { return &fm.Startup }, nil},
 		{"trenv_exec_latency_ms", "Function execution latency in milliseconds.",
-			func(fm *FnMetrics) *sim.Histogram { return &fm.Exec }},
+			func(fm *FnMetrics) *sim.Histogram { return &fm.Exec }, nil},
 	}
 	fnLabels := func(name string) map[string]string {
 		out := map[string]string{"function": name}
@@ -144,12 +193,16 @@ func (m *Metrics) RegisterLabeled(reg *obs.Registry, labels map[string]string) {
 	for _, h := range hists {
 		h := h
 		reg.HistogramFunc(h.name, h.help, func() []obs.LabeledHistogram {
-			out := []obs.LabeledHistogram{{Labels: fnLabels("_all"), Hist: h.sel(&m.All)}}
+			lh := func(name string, fm *FnMetrics) obs.LabeledHistogram {
+				out := obs.LabeledHistogram{Labels: fnLabels(name), Hist: h.sel(fm)}
+				if h.exSel != nil {
+					out.Exemplars = h.exSel(fm)
+				}
+				return out
+			}
+			out := []obs.LabeledHistogram{lh("_all", &m.All)}
 			for _, name := range m.Functions() {
-				out = append(out, obs.LabeledHistogram{
-					Labels: fnLabels(name),
-					Hist:   h.sel(m.PerFn[name]),
-				})
+				out = append(out, lh(name, m.PerFn[name]))
 			}
 			return out
 		})

@@ -2,7 +2,9 @@ package faas
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -61,7 +63,9 @@ func TestSpanPhasesTileTheInvocation(t *testing.T) {
 		t.Fatal("no spans recorded")
 	}
 	for _, root := range spans {
-		if root.Error != "" {
+		if root.Error != "" || !strings.HasPrefix(root.Name, "invoke/") {
+			// Lifecycle roots (expire/, evict/, pool-fetch/) are causal
+			// context, not phase decompositions.
 			continue
 		}
 		// queue/evict/startup/promote/exec tile [root.Start, root.End].
@@ -110,6 +114,98 @@ func TestFailedInvocationRecordsErrorSpanAndCounter(t *testing.T) {
 	}
 	if sp.Attrs["function"] != "nope" {
 		t.Fatalf("error span attrs = %v", sp.Attrs)
+	}
+}
+
+// TestExemplarsResolveToRecordedSpans is the exemplar acceptance
+// check: every retained exemplar's TraceID must resolve to a recorded
+// invocation root whose duration falls inside that histogram bucket.
+// The default config admits immediately (no queueing), so a root span
+// covers exactly the post-admission window the exemplar measures.
+func TestExemplarsResolveToRecordedSpans(t *testing.T) {
+	cfg := DefaultConfig(PolicyTrEnvCXL)
+	cfg.Seed = 13
+	cfg.Tracer = obs.NewTracer(0)
+	pl := New(cfg)
+	for _, p := range workload.Table4() {
+		if err := pl.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pl.RunTrace(smallTrace(13))
+
+	checked := 0
+	for _, fm := range []*FnMetrics{pl.Metrics().Fn("JS"), &pl.Metrics().All} {
+		res := fm.E2EExemplars
+		if res == nil {
+			t.Fatal("no exemplar reservoir after a traced run")
+		}
+		lo := -1.0
+		for _, b := range res.Snapshot() {
+			for _, e := range b.Exemplars {
+				if e.Value <= lo || e.Value > b.UpperBound {
+					t.Fatalf("exemplar %v outside its bucket (%v, %v]", e.Value, lo, b.UpperBound)
+				}
+				sp := cfg.Tracer.Find(e.TraceID)
+				if sp == nil {
+					t.Fatalf("exemplar trace %s not recorded", e.TraceID)
+				}
+				if !strings.HasPrefix(sp.Name, "invoke/") {
+					t.Fatalf("exemplar trace %s resolves to %s, want an invocation", e.TraceID, sp.Name)
+				}
+				durMs := float64(sp.Duration()) / float64(time.Millisecond)
+				if math.Abs(durMs-e.Value) > 1e-9*math.Max(1, durMs) {
+					t.Fatalf("exemplar value %v != span duration %vms (trace %s)", e.Value, durMs, e.TraceID)
+				}
+				if durMs <= lo || durMs > b.UpperBound {
+					t.Fatalf("span duration %vms outside bucket (%v, %v]", durMs, lo, b.UpperBound)
+				}
+				checked++
+			}
+			lo = b.UpperBound
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no exemplars retained")
+	}
+
+	// The flattened links carry the same resolvable IDs.
+	links := pl.Metrics().ExemplarLinks()
+	if len(links) == 0 {
+		t.Fatal("no exemplar links")
+	}
+	for _, l := range links {
+		if cfg.Tracer.Find(l.TraceID) == nil {
+			t.Fatalf("link %+v does not resolve", l)
+		}
+	}
+}
+
+// TestAnalyzeAndFoldedByteIdenticalAcrossSameSeedRuns pins the
+// analytics surfaces to deterministic bytes.
+func TestAnalyzeAndFoldedByteIdenticalAcrossSameSeedRuns(t *testing.T) {
+	_, a := tracedRun(t, 9)
+	_, b := tracedRun(t, 9)
+	repA, err := json.Marshal(obs.Analyze(a, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := json.Marshal(obs.Analyze(b, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repA, repB) {
+		t.Fatalf("analyze reports differ across same-seed runs:\n%s\n---\n%s", repA, repB)
+	}
+	var fa, fb bytes.Buffer
+	if err := obs.WriteFolded(&fa, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteFolded(&fb, b); err != nil {
+		t.Fatal(err)
+	}
+	if fa.Len() == 0 || !bytes.Equal(fa.Bytes(), fb.Bytes()) {
+		t.Fatal("folded flamegraphs differ (or are empty) across same-seed runs")
 	}
 }
 

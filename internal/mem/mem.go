@@ -245,7 +245,17 @@ type Pool struct {
 	rdmaServer *RDMAServer
 	rdmaQP     *QueuePair
 	rdmaRKey   uint32
+
+	// home names the node (or memory server) hosting the pool, for
+	// cross-node span attribution ("" = unplaced).
+	home string
 }
+
+// SetHome labels the pool with the node hosting it.
+func (p *Pool) SetHome(node string) { p.home = node }
+
+// Home returns the hosting node label ("" = unplaced).
+func (p *Pool) Home() string { return p.home }
 
 // NewPool creates a pool. capacity 0 means unlimited.
 func NewPool(kind PoolKind, capacity int64, lat LatencyModel) *Pool {

@@ -27,19 +27,30 @@ type chromeDoc struct {
 // WriteChromeTrace serializes root spans as a Chrome trace-event JSON
 // document. Each root span gets its own track (tid), so concurrent
 // invocations render as parallel lanes; child phases nest below their
-// parents by time range. Output is deterministic for a fixed span list.
+// parents by time range. Every event's args carry the span's trace_id
+// and span_id so a lane in the viewer can be matched to /analyze
+// output and exported exemplars. Output is deterministic for a fixed
+// span list.
 func WriteChromeTrace(w io.Writer, roots []*Span) error {
 	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
 	for i, root := range roots {
 		tid := i + 1
 		root.Walk(func(_ int, sp *Span) {
-			args := sp.Attrs
+			args := make(map[string]string, len(sp.Attrs)+3)
+			for k, v := range sp.Attrs {
+				args[k] = v
+			}
+			if sp.TraceID != "" {
+				args["trace_id"] = sp.TraceID
+			}
+			if sp.SpanID != "" {
+				args["span_id"] = sp.SpanID
+			}
 			if sp.Error != "" {
-				args = make(map[string]string, len(sp.Attrs)+1)
-				for k, v := range sp.Attrs {
-					args[k] = v
-				}
 				args["error"] = sp.Error
+			}
+			if len(args) == 0 {
+				args = nil
 			}
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: sp.Name,

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Trace identity is derived, not random: IDs are FNV-1a hashes of
+// stable strings (node name, function, per-platform sequence number),
+// so a fixed seed reproduces the exact same TraceIDs across runs and
+// exported artifacts (traces, exemplars, analysis reports) stay
+// byte-identical and cross-referenceable.
+
+// fnv1a64 hashes parts with FNV-1a, separating them with 0x1f so
+// ("a","bc") and ("ab","c") hash differently.
+func fnv1a64(parts ...string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime
+		}
+		h ^= 0x1f
+		h *= prime
+	}
+	return h
+}
+
+// TraceIDFor derives a deterministic 16-hex-digit trace identifier from
+// the given parts (typically node, function, and invocation sequence).
+func TraceIDFor(parts ...string) string {
+	return fmt.Sprintf("%016x", fnv1a64(parts...))
+}
+
+// spanIDFor derives a span identifier from its trace and the span's
+// position in the tree's depth-first walk order.
+func spanIDFor(traceID string, walkIndex int) string {
+	return fmt.Sprintf("%08x", uint32(fnv1a64(traceID, strconv.Itoa(walkIndex))))
+}
+
+// Link is a causal reference from one span to a span in another trace —
+// a cluster dispatch pointing at the invocation it placed, a restore's
+// remote fetch pointing at the memory-pool span that served it, an
+// eviction pointing at the invocation whose admission triggered it.
+type Link struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id,omitempty"`
+	// Type names the causal relation ("remote-fetch", "serves",
+	// "evicted-by", "after").
+	Type string `json:"type,omitempty"`
+}

@@ -46,13 +46,17 @@ type series struct {
 	labels map[string]string
 	value  func() float64
 	hist   *sim.Histogram
+	ex     *ExemplarReservoir
 }
 
 // LabeledHistogram pairs a label set with a live histogram, for
-// dynamic families whose series appear during the run.
+// dynamic families whose series appear during the run. Exemplars, when
+// non-nil, adds OpenMetrics bucket lines with `# {trace_id=...}`
+// exemplar annotations to the exported summary.
 type LabeledHistogram struct {
-	Labels map[string]string
-	Hist   *sim.Histogram
+	Labels    map[string]string
+	Hist      *sim.Histogram
+	Exemplars *ExemplarReservoir
 }
 
 // LabeledValue pairs a label set with an instantaneous value, for
@@ -150,12 +154,14 @@ func escapeLabel(v string) string {
 }
 
 // renderLabels returns `{k="v",...}` with sorted keys ("" when empty).
-// extra, if non-empty, is appended verbatim as the last pair.
+// extra, if non-empty, is appended verbatim as the last pair. Values
+// are escaped exactly once (escapeLabel); %q would re-escape the
+// backslashes escapeLabel just inserted.
 func renderLabels(labels map[string]string, extra string) string {
 	var pairs []string
 	for k, v := range labels {
 		checkName(k)
-		pairs = append(pairs, fmt.Sprintf("%s=%q", k, escapeLabel(v)))
+		pairs = append(pairs, k+`="`+escapeLabel(v)+`"`)
 	}
 	sort.Strings(pairs)
 	if extra != "" {
@@ -172,7 +178,7 @@ func (f *family) allSeries() []series {
 	ss := append([]series(nil), f.series...)
 	for _, g := range f.gathers {
 		for _, lh := range g() {
-			ss = append(ss, series{labels: lh.Labels, hist: lh.Hist})
+			ss = append(ss, series{labels: lh.Labels, hist: lh.Hist, ex: lh.Exemplars})
 		}
 	}
 	for _, g := range f.gatherVals {
@@ -259,12 +265,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				lines = append(lines, fmt.Sprintf("%s%s %s", f.name, base, formatValue(s.value())))
 			case kindSummary:
 				for _, q := range summaryQuantiles {
-					ql := renderLabels(s.labels, fmt.Sprintf("quantile=%q", formatValue(q)))
+					ql := renderLabels(s.labels, `quantile="`+formatValue(q)+`"`)
 					lines = append(lines, fmt.Sprintf("%s%s %s", f.name, ql, formatValue(s.hist.Percentile(q*100))))
 				}
 				lines = append(lines,
 					fmt.Sprintf("%s_sum%s %s", f.name, base, formatValue(s.hist.Sum())),
 					fmt.Sprintf("%s_count%s %s", f.name, base, strconv.Itoa(s.hist.N())))
+				if s.ex != nil {
+					var cum int64
+					for _, b := range s.ex.Snapshot() {
+						cum += b.Count
+						bl := renderLabels(s.labels, `le="`+FormatLe(b.UpperBound)+`"`)
+						line := fmt.Sprintf("%s_bucket%s %d", f.name, bl, cum)
+						if e, ok := b.Pick(); ok {
+							line += ` # {trace_id="` + escapeLabel(e.TraceID) + `"} ` + formatValue(e.Value)
+						}
+						lines = append(lines, line)
+					}
+				}
 			}
 			rows = append(rows, rendered{key: base, lines: lines})
 		}

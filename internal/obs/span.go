@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -24,6 +25,16 @@ type Span struct {
 	Name  string
 	Start time.Duration // virtual-time offset of the phase start
 	End   time.Duration // virtual-time offset of the phase end
+	// TraceID identifies the root tree this span belongs to; SpanID
+	// identifies the span within it. Both are deterministic (see
+	// TraceIDFor): assigned by the recording layer or, as a fallback,
+	// by Tracer.Record from its sequence counter.
+	TraceID string
+	SpanID  string
+	// Links reference causally-related spans in other traces (a remote
+	// memory-pool fetch serving this restore, the invocation that
+	// triggered this eviction).
+	Links []Link
 	// Attrs carry small key/value annotations (function, policy, path).
 	Attrs map[string]string
 	// Error is the failure description ("" = success).
@@ -64,6 +75,46 @@ func (s *Span) Fail(err error) *Span {
 		s.Error = err.Error()
 	}
 	return s
+}
+
+// AddLink attaches a causal reference to a span in another trace.
+func (s *Span) AddLink(l Link) *Span {
+	s.Links = append(s.Links, l)
+	return s
+}
+
+// AssignIDs stamps the whole tree with traceID and deterministic
+// per-span IDs derived from the tree's depth-first walk order. Safe to
+// call once the tree's shape is final.
+func (s *Span) AssignIDs(traceID string) *Span {
+	i := 0
+	s.Walk(func(_ int, sp *Span) {
+		sp.TraceID = traceID
+		sp.SpanID = spanIDFor(traceID, i)
+		i++
+	})
+	return s
+}
+
+// Find returns the span in s's subtree with the given SpanID, or nil.
+func (s *Span) Find(spanID string) *Span {
+	var out *Span
+	s.Walk(func(_ int, sp *Span) {
+		if out == nil && sp.SpanID == spanID {
+			out = sp
+		}
+	})
+	return out
+}
+
+// SelfTime returns the span's duration not covered by its direct
+// children (clamped at zero for overfull decompositions).
+func (s *Span) SelfTime() time.Duration {
+	self := s.Duration() - s.ChildrenTotal()
+	if self < 0 {
+		return 0
+	}
+	return self
 }
 
 // Walk visits the span and its subtree depth-first, parents before
@@ -111,6 +162,7 @@ type Tracer struct {
 	roots   []*Span // circular once len == max
 	head    int     // index of the oldest retained root
 	max     int
+	seq     int64 // fallback trace-ID sequence for unstamped roots
 	dropped int64
 	stream  io.Writer
 }
@@ -142,6 +194,10 @@ func (t *Tracer) Record(root *Span) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if root.TraceID == "" {
+		root.AssignIDs(TraceIDFor("tracer", strconv.FormatInt(t.seq, 10), root.Name))
+	}
+	t.seq++
 	if len(t.roots) < t.max {
 		t.roots = append(t.roots, root)
 	} else {
@@ -175,6 +231,18 @@ func (t *Tracer) Last(n int) []*Span {
 	return all[len(all)-n:]
 }
 
+// Find returns the retained root span with the given TraceID, or nil.
+func (t *Tracer) Find(traceID string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.roots {
+		if r.TraceID == traceID {
+			return r
+		}
+	}
+	return nil
+}
+
 // Len returns how many root spans are retained.
 func (t *Tracer) Len() int {
 	t.mu.Lock()
@@ -194,8 +262,11 @@ func (t *Tracer) Dropped() int64 {
 // deterministic.
 type spanJSON struct {
 	Name     string            `json:"name"`
+	TraceID  string            `json:"trace_id,omitempty"`
+	SpanID   string            `json:"span_id,omitempty"`
 	StartUs  float64           `json:"start_us"`
 	DurUs    float64           `json:"dur_us"`
+	Links    []Link            `json:"links,omitempty"`
 	Attrs    map[string]string `json:"attrs,omitempty"`
 	Error    string            `json:"error,omitempty"`
 	Children []spanJSON        `json:"children,omitempty"`
@@ -206,8 +277,11 @@ func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsec
 func spanToJSON(s *Span) spanJSON {
 	out := spanJSON{
 		Name:    s.Name,
+		TraceID: s.TraceID,
+		SpanID:  s.SpanID,
 		StartUs: micros(s.Start),
 		DurUs:   micros(s.Duration()),
+		Links:   s.Links,
 		Attrs:   s.Attrs,
 		Error:   s.Error,
 	}

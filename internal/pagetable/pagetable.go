@@ -186,6 +186,12 @@ type AccessResult struct {
 	FetchedPages int
 	DirectPages  int
 	Latency      time.Duration
+	// FetchLat is the share of Latency spent pulling pages from remote
+	// pools (fault overhead + contended transfer), and FetchPool names
+	// the pool kind that served the most fetched pages — what tail
+	// attribution needs to blame remote memory specifically.
+	FetchLat  time.Duration
+	FetchPool string
 }
 
 // AddressSpace is a process's memory map.
@@ -404,6 +410,10 @@ func addResults(a, b AccessResult) AccessResult {
 	a.FetchedPages += b.FetchedPages
 	a.DirectPages += b.DirectPages
 	a.Latency += b.Latency
+	a.FetchLat += b.FetchLat
+	if a.FetchPool == "" {
+		a.FetchPool = b.FetchPool
+	}
 	return a
 }
 
@@ -477,15 +487,23 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 			return res, err
 		}
 	}
+	maxFetch := 0
 	for pool, n := range fetch {
 		res.MajorFaults += n
 		res.FetchedPages += n
-		lat += time.Duration(n) * as.lat.FaultOverhead
+		flat := time.Duration(n) * as.lat.FaultOverhead
 		// Contention is sampled from the pool's current outstanding load;
 		// callers that sleep through this latency are expected to hold
 		// BeginFetch/EndFetch on the pool for the sleep's duration so that
 		// concurrent sessions see each other.
-		lat += pool.FetchLatency(rng, n)
+		flat += pool.FetchLatency(rng, n)
+		lat += flat
+		res.FetchLat += flat
+		kind := pool.Kind().String()
+		if n > maxFetch || (n == maxFetch && kind < res.FetchPool) {
+			maxFetch = n
+			res.FetchPool = kind
+		}
 		if err := as.allocLocal(int64(n) * mem.PageSize); err != nil {
 			return res, err
 		}

@@ -41,6 +41,11 @@ type Restored struct {
 	Latency  time.Duration
 	// BD decomposes Latency by phase; BD.Total() == Latency.
 	BD Breakdown
+	// CopyPool names the pool the Copy phase read from ("" when the
+	// path copied nothing), and CopyPages counts the pages it moved —
+	// what a restore-side remote-fetch span reports.
+	CopyPool  string
+	CopyPages int64
 }
 
 // Region finds a region by name across the restored processes.
@@ -123,7 +128,10 @@ func RestoreFullCopy(snap *Snapshot, tracker *mem.Tracker, lat mem.LatencyModel,
 		Copy:          lat.CopyCost(snap.MemBytes()),
 		Procs:         procRestoreCost(snap, costs),
 	}
-	return &Restored{Snapshot: snap, Spaces: spaces, Latency: bd.Total(), BD: bd}, nil
+	return &Restored{
+		Snapshot: snap, Spaces: spaces, Latency: bd.Total(), BD: bd,
+		CopyPool: "local", CopyPages: snap.MemBytes() / mem.PageSize,
+	}, nil
 }
 
 // procRestoreCost totals the per-thread clone and per-fd reopen costs.
@@ -236,7 +244,12 @@ func RestoreLazy(rng *rand.Rand, snap *Snapshot, tracker *mem.Tracker, tmpfs *me
 		Copy:          time.Duration(float64(eagerBytes) / costs.TmpfsBandwidth * float64(time.Second) * sharing),
 		Procs:         procRestoreCost(snap, costs),
 	}
-	return &Restored{Snapshot: snap, Spaces: spaces, Latency: bd.Total(), BD: bd}, nil
+	res := &Restored{Snapshot: snap, Spaces: spaces, Latency: bd.Total(), BD: bd}
+	if eagerBytes > 0 {
+		res.CopyPool = tmpfs.Kind().String()
+		res.CopyPages = eagerBytes / mem.PageSize
+	}
+	return res, nil
 }
 
 // RestoreTemplate performs TrEnv's restore: join the repurposed sandbox

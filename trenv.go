@@ -303,12 +303,54 @@ type MetricsRegistry = obs.Registry
 // NewMetricsRegistry returns an empty registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
+// SpanLink is a causal reference from one span to another trace (a
+// remote memory-pool fetch, an eviction's admitting invocation, ...).
+type SpanLink = obs.Link
+
+// TraceIDFor derives the deterministic 16-hex trace ID for a part
+// sequence (node, function, sequence number, ...).
+func TraceIDFor(parts ...string) string { return obs.TraceIDFor(parts...) }
+
 // WriteChromeTrace renders root spans as Chrome trace-event JSON
 // (loadable in chrome://tracing or Perfetto).
 func WriteChromeTrace(w io.Writer, roots []*Span) error { return obs.WriteChromeTrace(w, roots) }
 
 // WriteSpansJSONL streams root spans as one JSON object per line.
 func WriteSpansJSONL(w io.Writer, roots []*Span) error { return obs.WriteJSONL(w, roots) }
+
+// AnalysisReport summarizes recorded spans: top-k slowest invocations
+// with critical paths, per-function phase attribution at P50/P99/P999,
+// tail-vs-median diffs, and exemplar links.
+type AnalysisReport = obs.Report
+
+// PathStep is one hop on a critical path.
+type PathStep = obs.PathStep
+
+// HistogramExemplarLink resolves an exported exemplar to its trace.
+type HistogramExemplarLink = obs.ExemplarLink
+
+// AnalyzeSpans builds an AnalysisReport over recorded root spans
+// (topK <= 0 selects the default top-10 slowest table).
+func AnalyzeSpans(roots []*Span, topK int) *AnalysisReport { return obs.Analyze(roots, topK) }
+
+// CriticalPath extracts the longest-child chain of one span tree.
+func CriticalPath(root *Span) []PathStep { return obs.CriticalPath(root) }
+
+// WriteFoldedStacks writes root spans as folded flamegraph stacks
+// (`frame;frame count` lines, flamegraph.pl / speedscope compatible).
+func WriteFoldedStacks(w io.Writer, roots []*Span) error { return obs.WriteFolded(w, roots) }
+
+// ExemplarReservoir is a bounded deterministic reservoir of
+// (value, trace ID) pairs per histogram bucket, exported in OpenMetrics
+// exemplar syntax by MetricsRegistry.WritePrometheus.
+type ExemplarReservoir = obs.ExemplarReservoir
+
+// NewExemplarReservoir samples perBucket exemplars per bucket bound
+// (nil bounds / perBucket <= 0 select defaults) with a seed-derived
+// deterministic sampler.
+func NewExemplarReservoir(bounds []float64, perBucket int, seed string) *ExemplarReservoir {
+	return obs.NewExemplarReservoir(bounds, perBucket, seed)
+}
 
 // FlightRecorder snapshots a registry's series over virtual time into
 // bounded ring-buffer time series (counters also carry a per-second
