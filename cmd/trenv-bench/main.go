@@ -6,6 +6,7 @@
 //	trenv-bench [-exp table1,fig17,...|all] [-seed N] [-scale F]
 //	            [-json] [-trace out.json] [-timeseries out.json]
 //	            [-analyze report.json] [-flame out.folded]
+//	            [-chaos spec]
 //
 // -json prints the results as a JSON array instead of paper-style text;
 // -trace collects every invocation's span tree during the runs and
@@ -29,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -43,6 +45,7 @@ func main() {
 	analyzePath := flag.String("analyze", "", "write the trace-analytics report as JSON to this file")
 	flamePath := flag.String("flame", "", "write recorded spans as folded flamegraph stacks to this file")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec applied to every run, e.g. 'outage:cxl:10s-20s,flaky:rdma:0.2:burst=3,crash:n1:30s'")
 	flag.Parse()
 
 	var tee io.Writer = os.Stdout
@@ -68,6 +71,14 @@ func main() {
 	}
 	if *tsPath != "" {
 		o.Recorders = obs.NewRecorderSet(0, 0)
+	}
+	if *chaosSpec != "" {
+		sc, err := fault.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		o.Chaos = &sc
 	}
 	var ids []string
 	if *exp == "all" {

@@ -31,18 +31,30 @@
 //	                           (?format=folded; flamegraph.pl compatible)
 //	GET  /experiments          list experiment IDs
 //	POST /experiments/run      {"id":"fig23","scale":0.2} regenerate one
+//	GET  /healthz              node, circuit-breaker, and pool status
+//	POST /chaos                {"spec":"outage:cxl:1s-2s,..."} arm a
+//	                           deterministic fault schedule (or pass a
+//	                           structured {"scenario":{...}}; 409 if armed)
+//	GET  /chaos                armed schedule + injected-fault counts
+//
+// SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
+// requests for up to -drain-timeout before closing.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	trenv "repro"
@@ -57,6 +69,10 @@ type server struct {
 	recEvery time.Duration
 	deployed map[string]bool
 	now      time.Duration // virtual time high-water mark
+	seed     int64
+	breaker  *trenv.CircuitBreaker // fed by every terminal outcome
+	chaos    *trenv.FaultInjector  // non-nil once POST /chaos armed a schedule
+	labels   map[string]string     // node label applied to registered metrics
 }
 
 // serverOptions parameterize the control plane beyond policy and seed.
@@ -79,8 +95,17 @@ func newServerWith(o serverOptions) *server {
 	cfg.Seed = o.seed
 	cfg.SLOTarget = o.sloTarget
 	cfg.SLOObjective = o.sloObjective
+	cfg.Node = o.node
 	tracer := trenv.NewTracer(0)
 	cfg.Tracer = tracer
+	eng := trenv.NewEngine(o.seed)
+	cfg.Engine = eng
+	breaker := trenv.NewCircuitBreaker(trenv.DefaultCircuitBreakerConfig(), eng.Now)
+	cfg.OnResult = func(r trenv.InvocationResult) {
+		// A fault-tainted outcome (typed error or retried/fallback-served
+		// invocation) counts against the node's pool-fetch health.
+		breaker.Record(r.FaultTrace == "" && r.Outcome != trenv.OutcomeError)
+	}
 	pl := trenv.NewContainerPlatform(cfg)
 	var labels map[string]string
 	if o.node != "" {
@@ -88,6 +113,9 @@ func newServerWith(o serverOptions) *server {
 	}
 	reg := trenv.NewMetricsRegistry()
 	pl.RegisterMetricsLabeled(reg, labels)
+	reg.GaugeFunc("trenv_breaker_state", "Circuit-breaker position (0 closed, 1 open, 2 half-open).", labels,
+		func() float64 { return float64(breaker.State()) })
+	reg.CounterFunc("trenv_breaker_opens_total", "Circuit-breaker trips to open.", labels, breaker.Opens)
 	trenv.RegisterSchedulerTraceLog(reg, labels, pl.Engine().AttachTraceLog(4096))
 	trenv.RegisterTracerDrops(reg, labels, tracer)
 	return &server{
@@ -97,6 +125,9 @@ func newServerWith(o serverOptions) *server {
 		recorder: trenv.NewFlightRecorder(reg, 0),
 		recEvery: o.sampleEvery,
 		deployed: make(map[string]bool),
+		seed:     o.seed,
+		breaker:  breaker,
+		labels:   labels,
 	}
 }
 
@@ -126,6 +157,11 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/experiments", methodNotAllowed("GET"))
 	mux.HandleFunc("POST /experiments/run", s.runExperiment)
 	mux.HandleFunc("/experiments/run", methodNotAllowed("POST"))
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
+	mux.HandleFunc("GET /chaos", s.chaosStatus)
+	mux.HandleFunc("POST /chaos", s.armChaos)
+	mux.HandleFunc("/chaos", methodNotAllowed("GET", "POST"))
 	return mux
 }
 
@@ -147,6 +183,7 @@ func main() {
 	sloTargetMS := flag.Int("slo-target-ms", 0, "per-invocation latency SLO target in ms (0 disables SLO tracking)")
 	sloObjective := flag.Float64("slo-objective", 0, "fraction of invocations that must meet the target (default 0.99)")
 	sampleMS := flag.Int("sample-ms", 0, "flight-recorder sampling interval in virtual ms (0 = default)")
+	drain := flag.Duration("drain-timeout", 5*time.Second, "bounded drain window for graceful shutdown on SIGINT/SIGTERM")
 	flag.Parse()
 
 	s := newServerWith(serverOptions{
@@ -157,8 +194,25 @@ func main() {
 		sloObjective: *sloObjective,
 		sampleEvery:  time.Duration(*sampleMS) * time.Millisecond,
 	})
+	srv := &http.Server{Addr: *addr, Handler: s.mux()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("trenvd: policy=%s listening on %s", *policy, *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.mux()))
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		log.Printf("trenvd: shutting down, draining in-flight requests for up to %s", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("trenvd: drain window expired: %v (closing)", err)
+			srv.Close()
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -428,6 +482,116 @@ func (s *server) flame(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		log.Printf("trenvd: write flame: %v", err)
 	}
+}
+
+// healthz reports node, breaker, and pool status. "ok" degrades to
+// "degraded" when the breaker is not closed and to "crashed" after a
+// chaos-injected node crash.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type poolStatus struct {
+		Kind      string `json:"kind"`
+		UsedBytes int64  `json:"used_bytes"`
+		Available bool   `json:"available"`
+		Error     string `json:"error,omitempty"`
+	}
+	var pools []poolStatus
+	for _, p := range s.platform.Pools() {
+		ps := poolStatus{Kind: p.Kind().String(), UsedBytes: p.Tracker().Used(), Available: true}
+		if err := p.Unavailable(); err != nil {
+			ps.Available = false
+			ps.Error = err.Error()
+		}
+		pools = append(pools, ps)
+	}
+	status := "ok"
+	switch {
+	case s.platform.Crashed():
+		status = "crashed"
+	case !s.breaker.Allow():
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         status,
+		"node":           s.platform.NodeName(),
+		"virtual_time":   s.now.String(),
+		"active":         s.platform.Active(),
+		"warm_instances": s.platform.WarmCount(),
+		"breaker": map[string]any{
+			"state": s.breaker.State().String(),
+			"opens": s.breaker.Opens(),
+		},
+		"pools":       pools,
+		"chaos_armed": s.chaos != nil,
+	})
+}
+
+// armChaos compiles and arms a fault schedule against the platform's
+// virtual clock. Accepts either a compact spec string or a structured
+// scenario; one schedule per server lifetime (re-arming returns 409).
+func (s *server) armChaos(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Spec     string               `json:"spec"`
+		Seed     int64                `json:"seed"`
+		Scenario *trenv.FaultScenario `json:"scenario"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	var sc trenv.FaultScenario
+	switch {
+	case req.Spec != "" && req.Scenario != nil:
+		httpError(w, http.StatusBadRequest, "give either spec or scenario, not both")
+		return
+	case req.Spec != "":
+		var err error
+		sc, err = trenv.ParseChaosSpec(req.Spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad spec: %v", err)
+			return
+		}
+	case req.Scenario != nil:
+		sc = *req.Scenario
+	}
+	if sc.Empty() {
+		httpError(w, http.StatusBadRequest, "empty fault scenario")
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.seed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.chaos != nil {
+		httpError(w, http.StatusConflict, "a fault schedule is already armed")
+		return
+	}
+	inj := trenv.NewFaultInjector(s.platform.Engine(), seed, sc)
+	inj.SetTracer(s.tracer)
+	s.platform.AttachFaults(inj)
+	inj.OnNodeCrash(func(name string) {
+		if name == s.platform.NodeName() {
+			s.platform.Crash()
+		}
+	})
+	inj.Arm()
+	inj.RegisterMetrics(s.registry, s.labels)
+	s.chaos = inj
+	writeJSON(w, http.StatusCreated, inj.Status())
+}
+
+// chaosStatus reports the armed schedule and injected-fault counts.
+func (s *server) chaosStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.chaos == nil {
+		writeJSON(w, http.StatusOK, trenv.ChaosStatus{})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.chaos.Status())
 }
 
 func (s *server) listExperiments(w http.ResponseWriter, r *http.Request) {

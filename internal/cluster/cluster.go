@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
 	"repro/internal/obs"
@@ -25,6 +26,19 @@ type Cluster struct {
 	store *snapshot.Store
 	nodes []*faas.Platform
 	down  map[int]bool
+
+	// Per-node circuit breakers over pool-fetch failure rate: pick
+	// routes around open breakers the way it routes around dead nodes.
+	breakers []*fault.Breaker
+	chaos    *fault.Injector
+
+	dispatched   sim.Counter // invocations handed to a node
+	results      sim.Counter // terminal outcomes observed (incl. crash aborts)
+	redispatched sim.Counter // crash-aborted invocations re-dispatched to survivors
+
+	// resultHook, when non-nil, observes every node's terminal outcomes
+	// (experiments use it for availability bucketing).
+	resultHook func(node int, r faas.InvocationResult)
 
 	recorder *obs.Recorder
 	recEvery time.Duration
@@ -53,10 +67,92 @@ func New(n int, cfg faas.Config) (*Cluster, error) {
 		nodeCfg.Engine = eng
 		nodeCfg.SharedStore = store
 		nodeCfg.Node = fmt.Sprintf("n%d", i)
+		idx := i
+		userHook := cfg.OnResult
+		nodeCfg.OnResult = func(r faas.InvocationResult) {
+			c.onResult(idx, r)
+			if userHook != nil {
+				userHook(r)
+			}
+		}
 		c.nodes = append(c.nodes, faas.New(nodeCfg))
+		c.breakers = append(c.breakers, fault.NewBreaker(fault.DefaultBreakerConfig(), eng.Now))
 	}
 	return c, nil
 }
+
+// onResult feeds the node's breaker and re-dispatches crash-aborted
+// invocations to a survivor — never silently completed, never lost.
+func (c *Cluster) onResult(node int, r faas.InvocationResult) {
+	c.results.Inc()
+	if c.resultHook != nil {
+		c.resultHook(node, r)
+	}
+	if r.Outcome == faas.OutcomeCrashed {
+		c.redispatch(r.Function)
+		return
+	}
+	// A fault-tainted outcome (error, fallback, or success-after-retry)
+	// counts against the node's pool-fetch health.
+	c.breakers[node].Record(r.FaultTrace == "" && r.Outcome != faas.OutcomeError)
+}
+
+func (c *Cluster) redispatch(fn string) {
+	c.redispatched.Inc()
+	c.eng.Go("redispatch/"+fn, func(p *sim.Proc) {
+		c.pick(fn).InvokeDispatched(p, fn, "redispatch")
+	})
+}
+
+// SetResultHook observes every invocation's terminal outcome with its
+// node index. Set before RunTrace.
+func (c *Cluster) SetResultHook(fn func(node int, r faas.InvocationResult)) {
+	c.resultHook = fn
+}
+
+// Dispatched counts invocations handed to a node (excluding re-dispatch).
+func (c *Cluster) Dispatched() int64 { return c.dispatched.Value() }
+
+// Results counts terminal outcomes observed.
+func (c *Cluster) Results() int64 { return c.results.Value() }
+
+// Redispatched counts crash-aborted invocations re-dispatched to survivors.
+func (c *Cluster) Redispatched() int64 { return c.redispatched.Value() }
+
+// Wedged returns the invocations that never reached a terminal outcome.
+// After RunTrace drains, any recovery scheme worth the name leaves this
+// at zero.
+func (c *Cluster) Wedged() int64 {
+	return c.dispatched.Value() + c.redispatched.Value() - c.results.Value()
+}
+
+// Breakers exposes the per-node circuit breakers (node order).
+func (c *Cluster) Breakers() []*fault.Breaker { return c.breakers }
+
+// AttachChaos points every node's pools (and the shared CXL pool) at the
+// injector, wires node-crash events to KillNode, and arms the schedule.
+// Attach before RunTrace.
+func (c *Cluster) AttachChaos(inj *fault.Injector) {
+	c.chaos = inj
+	c.cxl.SetFaultAgent(inj, c.eng.Now)
+	for _, node := range c.nodes {
+		node.AttachFaults(inj)
+	}
+	inj.OnNodeCrash(func(name string) {
+		for i, node := range c.nodes {
+			if node.NodeName() == name {
+				// Last-node and double-kill guards apply; a crash the
+				// guards reject is dropped rather than wedging the rack.
+				_ = c.KillNode(i)
+				return
+			}
+		}
+	})
+	inj.Arm()
+}
+
+// Chaos returns the attached injector (nil when none).
+func (c *Cluster) Chaos() *fault.Injector { return c.chaos }
 
 // Engine returns the shared simulation engine.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
@@ -100,6 +196,10 @@ func (c *Cluster) KillNode(i int) error {
 		return fmt.Errorf("cluster: cannot kill the last node")
 	}
 	c.down[i] = true
+	// Crash the platform so the dead node's warm instances release their
+	// local-memory accounting and in-flight invocations abort (and are
+	// re-dispatched via onResult) instead of completing normally.
+	c.nodes[i].Crash()
 	return nil
 }
 
@@ -114,17 +214,35 @@ func (c *Cluster) AliveNodes() []*faas.Platform {
 	return out
 }
 
-// pick returns the node to run fn on: prefer a live node holding a warm
-// instance, else the least-loaded live node.
+// healthyNodes returns the alive nodes whose breakers admit traffic.
+// When every alive node's breaker is open there is nowhere better to
+// send work, so health filtering degrades to plain aliveness —
+// availability beats breaker hygiene.
+func (c *Cluster) healthyNodes() []*faas.Platform {
+	var out []*faas.Platform
+	for i, node := range c.nodes {
+		if !c.down[i] && c.breakers[i].Allow() {
+			out = append(out, node)
+		}
+	}
+	if len(out) == 0 {
+		return c.AliveNodes()
+	}
+	return out
+}
+
+// pick returns the node to run fn on: prefer a healthy node holding a
+// warm instance, else the least-loaded healthy node. Crashed nodes and
+// open-breaker nodes are skipped.
 func (c *Cluster) pick(fn string) *faas.Platform {
-	alive := c.AliveNodes()
-	for _, node := range alive {
+	cand := c.healthyNodes()
+	for _, node := range cand {
 		if node.HasWarm(fn) {
 			return node
 		}
 	}
-	best := alive[0]
-	for _, node := range alive[1:] {
+	best := cand[0]
+	for _, node := range cand[1:] {
 		if node.Active() < best.Active() {
 			best = node
 		}
@@ -136,6 +254,7 @@ func (c *Cluster) pick(fn string) *faas.Platform {
 // time arrives (so warm state is inspected at dispatch, not at submit).
 func (c *Cluster) Invoke(at time.Duration, fn string) {
 	c.eng.At(at, "dispatch/"+fn, func(p *sim.Proc) {
+		c.dispatched.Inc()
 		c.pick(fn).InvokeDispatched(p, fn, "rack")
 	})
 }

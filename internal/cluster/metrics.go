@@ -4,8 +4,21 @@ import (
 	"fmt"
 
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
+
+// registerBreakers publishes one breaker-state gauge and opens counter
+// per node; names align breakers[i] with nodeName(i).
+func registerBreakers(reg *obs.Registry, breakers []*fault.Breaker, nodeName func(int) string) {
+	for i, b := range breakers {
+		b := b
+		labels := map[string]string{"node": nodeName(i)}
+		reg.GaugeFunc("trenv_breaker_state", "Circuit-breaker position (0 closed, 1 open, 2 half-open).", labels,
+			func() float64 { return float64(b.State()) })
+		reg.CounterFunc("trenv_breaker_opens_total", "Circuit-breaker trips to open.", labels, b.Opens)
+	}
+}
 
 // registerFleetAggregates publishes the cluster-wide roll-up series: each
 // trenv_cluster_* value is, by construction, the sum (or count) over the
@@ -78,6 +91,12 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 	registerFleetAggregates(reg, c.nodes, func() float64 { return float64(len(c.AliveNodes())) })
 	reg.GaugeFunc("trenv_cluster_dedup_factor", "Logical/unique bytes for the rack's consolidated images.", rack,
 		c.DedupFactor)
+	registerBreakers(reg, c.breakers, func(i int) string { return fmt.Sprintf("n%d", i) })
+	reg.CounterFunc("trenv_redispatched_total", "Crash-aborted invocations re-dispatched to surviving nodes.", nil,
+		c.redispatched.Value)
+	if c.chaos != nil {
+		c.chaos.RegisterMetrics(reg, nil)
+	}
 }
 
 // RegisterMetrics publishes the multi-rack fleet into reg: nodes under
@@ -117,7 +136,13 @@ func (m *MultiRack) RegisterMetrics(reg *obs.Registry) {
 			return out
 		})
 	nodes := m.Nodes()
-	registerFleetAggregates(reg, nodes, func() float64 { return float64(len(nodes)) })
+	registerFleetAggregates(reg, nodes, func() float64 { return float64(len(nodes) - len(m.down)) })
 	reg.CounterFunc("trenv_cluster_spillovers_total", "Invocations dispatched off their home rack.", nil,
 		m.spillovers.Value)
+	registerBreakers(reg, m.breakers, func(i int) string { return nodes[i].NodeName() })
+	reg.CounterFunc("trenv_redispatched_total", "Crash-aborted invocations re-dispatched to surviving nodes.", nil,
+		m.redispatched.Value)
+	if m.chaos != nil {
+		m.chaos.RegisterMetrics(reg, nil)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
 	"repro/internal/obs"
@@ -33,6 +34,16 @@ type MultiRack struct {
 
 	spillovers sim.Counter
 
+	// Health state mirrors the single-rack Cluster: per-node breakers
+	// (flat Nodes() order), crashed nodes by name, re-dispatch counters.
+	breakers     []*fault.Breaker
+	nodeIdx      map[string]int // node name -> flat index
+	down         map[string]bool
+	chaos        *fault.Injector
+	dispatched   sim.Counter
+	results      sim.Counter
+	redispatched sim.Counter
+
 	recorder *obs.Recorder
 	recEvery time.Duration
 }
@@ -54,9 +65,11 @@ func NewMultiRack(racks, nodesPerRack int, cfg faas.Config) (*MultiRack, error) 
 	eng := sim.NewEngine(cfg.Seed)
 	lat := mem.DefaultLatencyModel()
 	m := &MultiRack{
-		eng:    eng,
-		fabric: mem.NewPool(mem.RDMA, 0, lat),
-		homes:  make(map[string]int),
+		eng:     eng,
+		fabric:  mem.NewPool(mem.RDMA, 0, lat),
+		homes:   make(map[string]int),
+		nodeIdx: make(map[string]int),
+		down:    make(map[string]bool),
 	}
 	m.fabricStore = snapshot.NewStore(mem.NewBlockStore(m.fabric), mmtemplate.NewRegistry())
 	m.fabric.SetHome("fabric")
@@ -69,11 +82,94 @@ func NewMultiRack(racks, nodesPerRack int, cfg faas.Config) (*MultiRack, error) 
 			nodeCfg.Engine = eng
 			nodeCfg.SharedStore = rk.store
 			nodeCfg.Node = fmt.Sprintf("r%dn%d", r, n)
+			idx := len(m.nodeIdx)
+			m.nodeIdx[nodeCfg.Node] = idx
+			userHook := cfg.OnResult
+			nodeCfg.OnResult = func(res faas.InvocationResult) {
+				m.onResult(idx, res)
+				if userHook != nil {
+					userHook(res)
+				}
+			}
 			rk.nodes = append(rk.nodes, faas.New(nodeCfg))
+			m.breakers = append(m.breakers, fault.NewBreaker(fault.DefaultBreakerConfig(), eng.Now))
 		}
 		m.racks = append(m.racks, rk)
 	}
 	return m, nil
+}
+
+// onResult mirrors Cluster.onResult for the fleet.
+func (m *MultiRack) onResult(node int, r faas.InvocationResult) {
+	m.results.Inc()
+	if r.Outcome == faas.OutcomeCrashed {
+		m.redispatched.Inc()
+		m.eng.Go("redispatch/"+r.Function, func(p *sim.Proc) {
+			node, _ := m.pick(r.Function)
+			node.InvokeDispatched(p, r.Function, "redispatch")
+		})
+		return
+	}
+	m.breakers[node].Record(r.FaultTrace == "" && r.Outcome != faas.OutcomeError)
+}
+
+// KillNode crashes a node by name ("r1n2"): its warm state is lost and
+// in-flight invocations re-dispatch; the rack images survive in pool
+// memory. Killing the last healthy node is an error.
+func (m *MultiRack) KillNode(name string) error {
+	idx, ok := m.nodeIdx[name]
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	if m.down[name] {
+		return fmt.Errorf("cluster: node %q already down", name)
+	}
+	if len(m.down)+1 >= len(m.nodeIdx) {
+		return fmt.Errorf("cluster: cannot kill the last node")
+	}
+	m.down[name] = true
+	m.Nodes()[idx].Crash()
+	return nil
+}
+
+// Dispatched counts invocations handed to a node (excluding re-dispatch).
+func (m *MultiRack) Dispatched() int64 { return m.dispatched.Value() }
+
+// Results counts terminal outcomes observed.
+func (m *MultiRack) Results() int64 { return m.results.Value() }
+
+// Redispatched counts crash-aborted invocations re-dispatched.
+func (m *MultiRack) Redispatched() int64 { return m.redispatched.Value() }
+
+// Breakers exposes the per-node circuit breakers (flat Nodes() order).
+func (m *MultiRack) Breakers() []*fault.Breaker { return m.breakers }
+
+// Chaos returns the attached injector (nil when none).
+func (m *MultiRack) Chaos() *fault.Injector { return m.chaos }
+
+// Wedged returns invocations that never reached a terminal outcome.
+func (m *MultiRack) Wedged() int64 {
+	return m.dispatched.Value() + m.redispatched.Value() - m.results.Value()
+}
+
+// AttachChaos points every pool (per-rack CXL, the fabric, node-local
+// pools) at the injector, wires node crashes, and arms the schedule.
+func (m *MultiRack) AttachChaos(inj *fault.Injector) {
+	m.chaos = inj
+	m.fabric.SetFaultAgent(inj, m.eng.Now)
+	for _, rk := range m.racks {
+		rk.cxl.SetFaultAgent(inj, m.eng.Now)
+		for _, node := range rk.nodes {
+			node.AttachFaults(inj)
+		}
+	}
+	inj.OnNodeCrash(func(name string) { _ = m.KillNode(name) })
+	inj.Arm()
+}
+
+// healthy reports whether a node (by flat index) should receive work.
+func (m *MultiRack) healthy(name string, idx int) bool {
+	return !m.down[name] && m.breakers[idx].Allow()
 }
 
 // Engine returns the shared simulation engine.
@@ -127,44 +223,62 @@ func (m *MultiRack) Register(prof workload.FunctionProfile, homeRack int) error 
 	return nil
 }
 
-// pick prefers (1) any node with a warm instance, (2) the least-loaded
-// home-rack node unless every home node is saturated, (3) the least-
-// loaded node cluster-wide (a spillover).
+// pick prefers (1) any healthy node with a warm instance, (2) the
+// least-loaded healthy home-rack node unless every home node is
+// saturated, (3) the least-loaded healthy node cluster-wide (a
+// spillover). Crashed nodes and open-breaker nodes are skipped; when no
+// node passes the health filter, the filter degrades to plain aliveness
+// — availability beats breaker hygiene.
 func (m *MultiRack) pick(fn string) (*faas.Platform, bool) {
+	ok := func(node *faas.Platform) bool {
+		name := node.NodeName()
+		return m.healthy(name, m.nodeIdx[name])
+	}
+	anyHealthy := false
+	for _, node := range m.Nodes() {
+		if ok(node) {
+			anyHealthy = true
+			break
+		}
+	}
+	if !anyHealthy {
+		ok = func(node *faas.Platform) bool { return !m.down[node.NodeName()] }
+	}
 	for _, rk := range m.racks {
 		for _, node := range rk.nodes {
-			if node.HasWarm(fn) {
+			if ok(node) && node.HasWarm(fn) {
 				return node, false
 			}
 		}
 	}
 	home := m.racks[m.homes[fn]]
-	best := home.nodes[0]
-	for _, node := range home.nodes[1:] {
-		if node.Active() < best.Active() {
+	var best *faas.Platform
+	for _, node := range home.nodes {
+		if ok(node) && (best == nil || node.Active() < best.Active()) {
 			best = node
 		}
 	}
-	if best.Active() < best.Cores() {
+	if best != nil && best.Active() < best.Cores() {
 		return best, false
 	}
 	global := best
 	for _, rk := range m.racks {
 		for _, node := range rk.nodes {
-			if node.Active() < global.Active() {
+			if ok(node) && (global == nil || node.Active() < global.Active()) {
 				global = node
 			}
 		}
 	}
-	if global == best {
+	if global == best && best != nil {
 		return best, false
 	}
-	return global, true
+	return global, global != best
 }
 
 // Invoke dispatches one invocation at virtual time at.
 func (m *MultiRack) Invoke(at time.Duration, fn string) {
 	m.eng.At(at, "dispatch/"+fn, func(p *sim.Proc) {
+		m.dispatched.Inc()
 		node, spilled := m.pick(fn)
 		if spilled {
 			m.spillovers.Inc()

@@ -32,6 +32,10 @@ type ExecStats struct {
 	FetchedPages int
 	FetchLat     time.Duration
 	FetchPool    string
+	// Retries counts fetch attempts replayed after injected faults, and
+	// FaultTrace names the fault that forced them ("" = clean run).
+	Retries    int
+	FaultTrace string
 }
 
 // PromoteWorkingSet copies the instance's hot read-only pages from the
@@ -85,6 +89,10 @@ func (rt *Runtime) Execute(p *sim.Proc, in *Instance, opts ExecOptions) (ExecSta
 			return st, fmt.Errorf("core: %s: region %q missing", prof.Name, a.Region)
 		}
 		res, err := as.Access(p.Rand(), v, a.ReadPages, a.WritePages)
+		st.Retries += res.Retries
+		if st.FaultTrace == "" {
+			st.FaultTrace = res.FaultTrace
+		}
 		if err != nil {
 			return st, fmt.Errorf("core: %s: access %q: %w", prof.Name, a.Region, err)
 		}

@@ -42,6 +42,9 @@ const (
 	PathCRIU      StartPath = "criu"
 	PathLazyVM    StartPath = "lazy-vm"
 	PathRepurpose StartPath = "repurpose"
+	// PathFallback is a local cold start taken because the remote-memory
+	// restore path was unavailable (graceful degradation).
+	PathFallback StartPath = "fallback"
 )
 
 // Instance is one live (running or kept-warm) function instance.
@@ -308,6 +311,11 @@ func (rt *Runtime) StartTrEnv(p *sim.Proc, prof workload.FunctionProfile, img *s
 	}
 	res, err := snapshot.RestoreTemplate(img, rt.Tracker, rt.Lat, rt.AttachCosts, rt.RestoreCosts)
 	if err != nil {
+		// Don't leak the sandbox on a failed restore (e.g. an injected
+		// pool outage): scrub it back into the universal pool so the
+		// fallback cold start — or the next invocation — can reuse it.
+		rt.Factory.Clean(p, sb)
+		rt.SBPool.Put(sb)
 		return nil, Startup{}, fmt.Errorf("core: trenv start %s: %w", prof.Name, err)
 	}
 	rt.adopt(res)
@@ -405,6 +413,27 @@ func (rt *Runtime) Release(p *sim.Proc, in *Instance, recycleSandbox bool) {
 				panic(err) // sandbox teardown is infallible in this model
 			}
 		}
+		in.Sandbox = nil
+	}
+}
+
+// ReleaseCrashed tears an instance down after its node crashed: memory
+// accounting is unwound so trackers stay consistent, but nothing is
+// recycled and no simulated time is charged — there is no node left to
+// run cleanup on. Safe to call without a live sim.Proc.
+func (rt *Runtime) ReleaseCrashed(in *Instance) {
+	if in.Procs != nil {
+		in.Procs.KillAll()
+	}
+	if in.Restored != nil {
+		in.Restored.ReleaseAll()
+	}
+	if in.OverheadBytes > 0 {
+		rt.Tracker.Free(in.OverheadBytes)
+	}
+	in.NetNS = nil
+	if in.Sandbox != nil {
+		_ = rt.Factory.Destroy(in.Sandbox)
 		in.Sandbox = nil
 	}
 }

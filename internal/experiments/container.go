@@ -35,6 +35,15 @@ func containerPlatform(o Options, pol faas.Policy, softCap int64) *faas.Platform
 			panic(fmt.Sprintf("experiments: register %s: %v", p.Name, err))
 		}
 	}
+	if inj := o.chaosInjector(pl.Engine()); inj != nil {
+		pl.AttachFaults(inj)
+		inj.OnNodeCrash(func(name string) {
+			if name == pl.NodeName() {
+				pl.Crash()
+			}
+		})
+		inj.Arm()
+	}
 	return pl
 }
 

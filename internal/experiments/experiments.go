@@ -10,7 +10,9 @@ import (
 	"time"
 
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Options control experiment scale.
@@ -30,6 +32,23 @@ type Options struct {
 	// platform run is sampled into its own recorder under a
 	// "<experiment>/<workload>/<policy>" run name.
 	Recorders *obs.RecorderSet
+	// Chaos, when non-nil and non-empty, injects the fault schedule into
+	// every platform an experiment builds (cmd/trenv-bench -chaos). The
+	// injector is seeded from Seed, so chaos runs stay reproducible.
+	Chaos *fault.Scenario
+}
+
+// chaosInjector compiles o.Chaos against eng, or returns nil when no
+// chaos was requested.
+func (o Options) chaosInjector(eng *sim.Engine) *fault.Injector {
+	if o.Chaos == nil || o.Chaos.Empty() {
+		return nil
+	}
+	inj := fault.NewInjector(eng, o.Seed, *o.Chaos)
+	if o.Tracer != nil {
+		inj.SetTracer(o.Tracer)
+	}
+	return inj
 }
 
 // observe wires a fresh registry + recorder to pl under the given run
@@ -126,6 +145,7 @@ func All() []struct {
 		{"fig26", Fig26},
 		{"ablations", Ablations},
 		{"sensitivity", Sensitivity},
+		{"availability", Availability},
 	}
 }
 

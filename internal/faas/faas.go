@@ -17,6 +17,7 @@
 package faas
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -126,6 +127,19 @@ type Config struct {
 	// nodes attached to the same memory pool: preprocessing happens once
 	// per rack and templates resolve machine-independent offsets.
 	SharedStore *snapshot.Store
+
+	// DisableFallback turns off graceful degradation: a restore whose
+	// pool is inside an injected outage window fails the invocation
+	// instead of falling back to a local cold start. The availability
+	// experiment uses this as its no-recovery baseline.
+	DisableFallback bool
+	// Retry overrides the fetch retry policy applied to the node's
+	// pools by AttachFaults (nil = mem.DefaultRetryPolicy).
+	Retry *mem.RetryPolicy
+	// OnResult, when non-nil, observes every invocation's terminal
+	// outcome. Clusters use it to feed per-node circuit breakers and
+	// to re-dispatch work aborted by a node crash.
+	OnResult func(InvocationResult)
 }
 
 // DefaultConfig returns the testbed-like configuration for a policy.
@@ -187,6 +201,10 @@ type Platform struct {
 	// Per-function admission control (MaxPerFunction).
 	running map[string]int
 	waiting map[string][]*sim.Proc
+
+	// crashed marks a dead node: in-flight invocations abort at their
+	// next checkpoint, new ones abort immediately (see Crash).
+	crashed bool
 }
 
 // New creates a platform for cfg.
@@ -611,7 +629,9 @@ func (pl *Platform) admit(p *sim.Proc, name string) {
 	if pl.cfg.MaxPerFunction <= 0 {
 		return
 	}
-	for pl.running[name] >= pl.cfg.MaxPerFunction {
+	// A crash wakes queued procs; they fall through here and abort at
+	// the post-admit checkpoint instead of waiting forever.
+	for !pl.crashed && pl.running[name] >= pl.cfg.MaxPerFunction {
 		pl.waiting[name] = append(pl.waiting[name], p)
 		pl.metrics.Queued.Inc()
 		p.Park()
@@ -641,6 +661,13 @@ func (pl *Platform) failInvocation(traceID, name string, t0, now time.Duration, 
 	}
 	sp := obs.NewSpan("invoke/"+name, t0, now)
 	sp.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy)).SetAttr("node", pl.nodeName)
+	if t := errType(err); t != "" {
+		sp.SetAttr("error_type", t)
+	}
+	if ft := faultTraceOf(err); ft != "" {
+		// Walkable back to the injected fault that caused the failure.
+		sp.AddLink(obs.Link{TraceID: ft, Type: "caused-by"})
+	}
 	sp.Fail(err)
 	sp.AssignIDs(traceID)
 	pl.tracer.Record(sp)
@@ -690,15 +717,32 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 	// Trace identity is a hash of (node, function, sequence): no
 	// randomness, no wall clock, so same-seed runs reproduce it.
 	traceID := obs.TraceIDFor(pl.nodeName, name, strconv.FormatInt(seq, 10))
+	// Every invocation terminates in exactly one outcome, delivered to
+	// OnResult on every exit path — nothing is silently lost.
+	res := InvocationResult{Function: name, Node: pl.nodeName, TraceID: traceID, Outcome: OutcomeError}
+	defer func() {
+		if pl.cfg.OnResult != nil {
+			pl.cfg.OnResult(res)
+		}
+	}()
 	fn, ok := pl.fns[name]
 	if !ok {
-		pl.failInvocation(traceID, name, tArrive, p.Now(), fmt.Errorf("function %q not registered", name))
+		res.Err = fmt.Errorf("function %q not registered", name)
+		pl.failInvocation(traceID, name, tArrive, p.Now(), res.Err)
+		return
+	}
+	if pl.crashed {
+		pl.abortCrashed(&res, traceID, name, tArrive, nil)
 		return
 	}
 	pl.active++
 	defer func() { pl.active-- }()
 	pl.admit(p, name)
 	defer pl.leave(name)
+	if pl.crashed {
+		pl.abortCrashed(&res, traceID, name, tArrive, nil)
+		return
+	}
 	// Metrics measure e2e from admission (matching the per-function
 	// scale-limit semantics); the span additionally covers queueing.
 	t0 := p.Now()
@@ -706,6 +750,9 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 	var st core.Startup
 	in := pl.takeWarm(name)
 	tStart := tAdmit
+	fellBack := false
+	var fallbackAt time.Duration
+	var fallbackCause *mem.ErrPoolUnavailable
 	if in != nil {
 		p.Sleep(pl.cfg.WarmReuse)
 		st = core.Startup{Path: core.PathWarm, Restore: pl.cfg.WarmReuse}
@@ -715,14 +762,42 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		var err error
 		in, st, err = pl.start(p, fn)
 		if err != nil {
-			pl.failInvocation(traceID, name, tArrive, p.Now(), err)
-			return
+			var pu *mem.ErrPoolUnavailable
+			if errors.As(err, &pu) && !pl.cfg.DisableFallback && pl.cfg.Policy != PolicyFaasd {
+				// Graceful degradation: the restore source is inside an
+				// injected outage window. Build the instance from scratch
+				// locally instead of wedging — slower, but available.
+				fallbackAt = p.Now()
+				in, st, err = pl.rt.StartCold(p, fn.Profile)
+				if err != nil {
+					res.Err = err
+					pl.failInvocation(traceID, name, tArrive, p.Now(),
+						fmt.Errorf("fallback cold start also failed: %w", err))
+					return
+				}
+				st.Path = core.PathFallback
+				in.Path = core.PathFallback
+				fellBack = true
+				fallbackCause = pu
+				res.FaultTrace = pu.FaultTrace
+				pl.metrics.Fallbacks.Inc()
+			} else {
+				res.Err = err
+				res.FaultTrace = faultTraceOf(err)
+				pl.failInvocation(traceID, name, tArrive, p.Now(), err)
+				return
+			}
 		}
+	}
+	if pl.crashed {
+		pl.abortCrashed(&res, traceID, name, tArrive, in)
+		return
 	}
 	tUp := p.Now() // startup complete
 	if pl.cfg.PromoteHotAfter > 0 && in.Uses >= pl.cfg.PromoteHotAfter {
 		promoted, err := pl.rt.PromoteWorkingSet(in)
 		if err != nil {
+			res.Err = err
 			pl.failInvocation(traceID, name, tArrive, p.Now(), err)
 			pl.release(p, in)
 			return
@@ -737,13 +812,32 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		CPU:             pl.cpu,
 		ContentionPools: pl.contentionPools(),
 	})
+	res.Retries += es.Retries
+	if res.FaultTrace == "" {
+		res.FaultTrace = es.FaultTrace
+	}
+	if es.Retries > 0 {
+		pl.metrics.Retries.IncBy(int64(es.Retries))
+	}
 	if err != nil {
+		res.Err = err
+		if res.FaultTrace == "" {
+			res.FaultTrace = faultTraceOf(err)
+		}
 		pl.failInvocation(traceID, name, tArrive, p.Now(), err)
 		pl.release(p, in)
 		return
 	}
+	if pl.crashed {
+		pl.abortCrashed(&res, traceID, name, tArrive, in)
+		return
+	}
 	tEnd := p.Now()
 	in.LastTraceID = traceID
+	res.Outcome = OutcomeSuccess
+	if fellBack {
+		res.Outcome = OutcomeFallback
+	}
 	if t0 >= pl.cfg.Warmup {
 		pl.metrics.Record(name, st, es, tEnd-t0)
 		if pl.tracer != nil {
@@ -769,7 +863,24 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		if tStart > tAdmit {
 			root.Child("evict", tAdmit, tStart)
 		}
-		root.Children = append(root.Children, core.StartupSpan(st, tStart))
+		if fellBack {
+			// The failed remote-restore attempt, linked to the injected
+			// fault that caused it, then the fallback cold start wrapping
+			// the actual startup breakdown — the graceful-degradation
+			// chain is walkable from the invocation's critical path.
+			rf := root.Child("restore-failed", tStart, fallbackAt)
+			rf.SetAttr("error_type", "pool-unavailable").
+				SetAttr("pool", fallbackCause.Pool)
+			rf.Fail(fallbackCause)
+			if fallbackCause.FaultTrace != "" {
+				rf.AddLink(obs.Link{TraceID: fallbackCause.FaultTrace, Type: "caused-by"})
+			}
+			fb := root.Child("fallback", fallbackAt, tUp)
+			fb.SetAttr("cause", "pool-unavailable")
+			fb.Children = append(fb.Children, core.StartupSpan(st, fallbackAt))
+		} else {
+			root.Children = append(root.Children, core.StartupSpan(st, tStart))
+		}
 		if tExec > tUp {
 			root.Child("promote", tUp, tExec)
 		}
@@ -786,6 +897,14 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 			execFetch = exec.Child("remote-fetch", fs, fs+es.FetchLat)
 			execFetch.SetAttr("pool", es.FetchPool).
 				SetAttr("pages", strconv.Itoa(es.FetchedPages))
+			if es.Retries > 0 {
+				// Retried attempts and the fault that forced them, linked
+				// so tail analysis can walk fetch → fault.
+				execFetch.SetAttr("retries", strconv.Itoa(es.Retries))
+				if es.FaultTrace != "" {
+					execFetch.AddLink(obs.Link{TraceID: es.FaultTrace, Type: "caused-by"})
+				}
+			}
 		}
 		root.AssignIDs(traceID)
 		if execFetch != nil {

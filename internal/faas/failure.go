@@ -1,0 +1,155 @@
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/obs"
+)
+
+// Outcome is how an invocation terminated. Every invocation ends in
+// exactly one of these — there is no silent loss path.
+type Outcome string
+
+const (
+	// OutcomeSuccess completed normally.
+	OutcomeSuccess Outcome = "success"
+	// OutcomeFallback completed via the local-cold-start fallback after
+	// the remote restore source was unavailable.
+	OutcomeFallback Outcome = "fallback"
+	// OutcomeError failed with a typed application/platform error.
+	OutcomeError Outcome = "error"
+	// OutcomeCrashed was aborted because its node crashed mid-flight;
+	// clusters re-dispatch these to survivors.
+	OutcomeCrashed Outcome = "node-crash"
+)
+
+// InvocationResult is the terminal record of one invocation, delivered
+// to Config.OnResult. FaultTrace names the injected fault the invocation
+// collided with ("" = clean), even when it still succeeded after retries.
+type InvocationResult struct {
+	Function   string
+	Node       string
+	TraceID    string
+	Outcome    Outcome
+	Err        error
+	Retries    int
+	FaultTrace string
+}
+
+// ErrNodeDown reports an invocation aborted by its node crashing.
+type ErrNodeDown struct{ Node string }
+
+func (e *ErrNodeDown) Error() string { return fmt.Sprintf("faas: node %s is down", e.Node) }
+
+// Crash kills the node: warm instances release their memory accounting,
+// queued invocations are woken so they can abort, and every in-flight
+// invocation terminates with OutcomeCrashed at its next checkpoint.
+// Safe to call outside a simulated process (no virtual time passes —
+// a crash does no cleanup work). Idempotent.
+func (pl *Platform) Crash() {
+	if pl.crashed {
+		return
+	}
+	pl.crashed = true
+	for name, list := range pl.warm {
+		for _, in := range list {
+			pl.rt.ReleaseCrashed(in)
+		}
+		delete(pl.warm, name)
+	}
+	for name, q := range pl.waiting {
+		for _, proc := range q {
+			pl.eng.Resume(proc)
+		}
+		delete(pl.waiting, name)
+	}
+}
+
+// Crashed reports whether Crash has been called.
+func (pl *Platform) Crashed() bool { return pl.crashed }
+
+// Pools returns the node's attached memory pools (CXL, RDMA, tmpfs).
+func (pl *Platform) Pools() []*mem.Pool {
+	return []*mem.Pool{pl.cxl, pl.rdma, pl.tmpfs}
+}
+
+// AttachFaults consults agent on every fetch against the node's pools,
+// clocked by the platform's virtual time, and applies Config.Retry (or
+// the default policy) to them. Attach before traffic arrives.
+func (pl *Platform) AttachFaults(agent mem.FaultAgent) {
+	for _, pool := range pl.Pools() {
+		pool.SetFaultAgent(agent, pl.eng.Now)
+		if pl.cfg.Retry != nil {
+			pool.SetRetryPolicy(*pl.cfg.Retry)
+		}
+	}
+}
+
+// abortCrashed terminates an in-flight invocation whose node died under
+// it: the held instance's accounting is unwound and the outcome is
+// OutcomeCrashed — counted separately from application errors, never
+// silently completed. Clusters re-dispatch these to survivors.
+func (pl *Platform) abortCrashed(res *InvocationResult, traceID, name string, t0 time.Duration, in *core.Instance) {
+	if in != nil {
+		pl.rt.ReleaseCrashed(in)
+	}
+	err := &ErrNodeDown{Node: pl.nodeName}
+	res.Outcome = OutcomeCrashed
+	res.Err = err
+	pl.metrics.CrashAborts.Inc()
+	if pl.tracer != nil {
+		sp := obs.NewSpan("invoke/"+name, t0, pl.eng.Now())
+		sp.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy)).
+			SetAttr("node", pl.nodeName).SetAttr("error_type", "node-down")
+		sp.Fail(err)
+		sp.AssignIDs(traceID)
+		pl.tracer.Record(sp)
+	}
+}
+
+// errType classifies an invocation error for span attribution; "" for
+// untyped errors.
+func errType(err error) string {
+	var (
+		nm *mem.ErrNoMemory
+		pu *mem.ErrPoolUnavailable
+		ff *mem.ErrFetchFailed
+		fl *mem.ErrFlakyFetch
+		nd *ErrNodeDown
+	)
+	switch {
+	case errors.As(err, &nm):
+		return "no-memory"
+	case errors.As(err, &pu):
+		return "pool-unavailable"
+	case errors.As(err, &ff):
+		return "fetch-failed"
+	case errors.As(err, &fl):
+		return "flaky-fetch"
+	case errors.As(err, &nd):
+		return "node-down"
+	}
+	return ""
+}
+
+// faultTraceOf extracts the injected fault's trace ID from a typed
+// error chain ("" when the error wasn't fault-induced).
+func faultTraceOf(err error) string {
+	var pu *mem.ErrPoolUnavailable
+	if errors.As(err, &pu) {
+		return pu.FaultTrace
+	}
+	var ff *mem.ErrFetchFailed
+	if errors.As(err, &ff) {
+		return ff.FaultTrace
+	}
+	var fl *mem.ErrFlakyFetch
+	if errors.As(err, &fl) {
+		return fl.FaultTrace
+	}
+	return ""
+}

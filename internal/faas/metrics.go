@@ -35,6 +35,9 @@ type Metrics struct {
 	Promotions    sim.Counter // hot working sets promoted to local DRAM
 	CleanRestores sim.Counter // Groundhog-style post-request scrubs
 	Errors        sim.Counter
+	Fallbacks     sim.Counter // local cold starts taken because the pool was unavailable
+	Retries       sim.Counter // fetch attempts replayed after injected faults
+	CrashAborts   sim.Counter // invocations aborted by a node crash (re-dispatchable)
 }
 
 // NewMetrics returns empty metrics.
@@ -70,6 +73,10 @@ func (m *Metrics) Record(fn string, st core.Startup, es core.ExecStats, e2e time
 		m.Repurposes.Inc()
 	case core.PathCRIU, core.PathLazyVM:
 		m.Restores.Inc()
+	case core.PathFallback:
+		// A fallback still builds a sandbox from scratch; Fallbacks is
+		// counted at the decision point, ColdStarts here.
+		m.ColdStarts.Inc()
 	}
 }
 
@@ -163,6 +170,9 @@ func (m *Metrics) RegisterLabeled(reg *obs.Registry, labels map[string]string) {
 		{"trenv_promotions_total", "Hot working sets promoted to local DRAM.", &m.Promotions},
 		{"trenv_clean_restores_total", "Groundhog-style post-request scrubs.", &m.CleanRestores},
 		{"trenv_errors_total", "Failed invocations (unknown function, start or exec failure).", &m.Errors},
+		{"trenv_fallbacks_total", "Local cold starts taken because the restore pool was unavailable.", &m.Fallbacks},
+		{"trenv_retries_total", "Fetch attempts replayed after injected faults.", &m.Retries},
+		{"trenv_crash_aborts_total", "Invocations aborted by a node crash (re-dispatchable, not errors).", &m.CrashAborts},
 	}
 	for _, c := range counters {
 		c := c
@@ -231,6 +241,9 @@ type Export struct {
 	Promotions    int64               `json:"promotions"`
 	CleanRestores int64               `json:"clean_restores"`
 	Errors        int64               `json:"errors"`
+	Fallbacks     int64               `json:"fallbacks"`
+	Retries       int64               `json:"retries"`
+	CrashAborts   int64               `json:"crash_aborts"`
 	E2EP50Ms      float64             `json:"e2e_p50_ms"`
 	E2EP99Ms      float64             `json:"e2e_p99_ms"`
 	StartupP99Ms  float64             `json:"startup_p99_ms"`
@@ -250,6 +263,9 @@ func (m *Metrics) Export() Export {
 		Promotions:    m.Promotions.Value(),
 		CleanRestores: m.CleanRestores.Value(),
 		Errors:        m.Errors.Value(),
+		Fallbacks:     m.Fallbacks.Value(),
+		Retries:       m.Retries.Value(),
+		CrashAborts:   m.CrashAborts.Value(),
 		E2EP50Ms:      m.All.E2E.Percentile(50),
 		E2EP99Ms:      m.All.E2E.Percentile(99),
 		StartupP99Ms:  m.All.Startup.Percentile(99),

@@ -1,0 +1,136 @@
+package fault
+
+import "time"
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	BreakerClosed   BreakerState = 0 // traffic flows, failures counted
+	BreakerOpen     BreakerState = 1 // traffic rejected until OpenFor elapses
+	BreakerHalfOpen BreakerState = 2 // limited probes decide reopen vs close
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker.
+type BreakerConfig struct {
+	Window           int           // sliding window of recent outcomes
+	MinSamples       int           // don't trip before this many samples
+	FailureThreshold float64       // open when failure rate >= this
+	OpenFor          time.Duration // how long to stay open before probing
+	HalfOpenProbes   int           // consecutive successes needed to close
+}
+
+// DefaultBreakerConfig matches serverless dispatch timescales.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           20,
+		MinSamples:       5,
+		FailureThreshold: 0.5,
+		OpenFor:          30 * time.Second,
+		HalfOpenProbes:   3,
+	}
+}
+
+// Breaker is a per-node circuit breaker over pool-fetch failure rate,
+// driven entirely by an injected virtual clock so transitions are
+// deterministic. Closed counts outcomes in a sliding window and opens
+// when the failure rate crosses the threshold; open rejects until
+// OpenFor elapses, then goes half-open; half-open closes after
+// HalfOpenProbes consecutive successes and reopens on any failure.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Duration
+
+	state    BreakerState
+	openedAt time.Duration
+	ring     []bool // true = failure
+	next     int
+	filled   int
+	probes   int // consecutive half-open successes
+	opens    int64
+}
+
+// NewBreaker builds a breaker on virtual clock now.
+func NewBreaker(cfg BreakerConfig, now func() time.Duration) *Breaker {
+	if cfg.Window <= 0 {
+		cfg = DefaultBreakerConfig()
+	}
+	return &Breaker{cfg: cfg, now: now, ring: make([]bool, cfg.Window)}
+}
+
+// State returns the current position, applying the open→half-open
+// timeout transition first.
+func (b *Breaker) State() BreakerState {
+	if b.state == BreakerOpen && b.now()-b.openedAt >= b.cfg.OpenFor {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+	}
+	return b.state
+}
+
+// Allow reports whether new work should be routed here.
+func (b *Breaker) Allow() bool { return b.State() != BreakerOpen }
+
+// Record feeds one invocation outcome.
+func (b *Breaker) Record(success bool) {
+	switch b.State() {
+	case BreakerHalfOpen:
+		if !success {
+			b.trip()
+			return
+		}
+		b.probes++
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.reset()
+		}
+	case BreakerClosed:
+		b.ring[b.next] = !success
+		b.next = (b.next + 1) % len(b.ring)
+		if b.filled < len(b.ring) {
+			b.filled++
+		}
+		if b.filled >= b.cfg.MinSamples && b.failureRate() >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Outcomes of work admitted before the trip; ignore.
+	}
+}
+
+func (b *Breaker) failureRate() float64 {
+	fails := 0
+	for i := 0; i < b.filled; i++ {
+		if b.ring[i] {
+			fails++
+		}
+	}
+	return float64(fails) / float64(b.filled)
+}
+
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.opens++
+}
+
+func (b *Breaker) reset() {
+	b.state = BreakerClosed
+	b.next, b.filled, b.probes = 0, 0, 0
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+}
+
+// Opens counts closed/half-open → open transitions.
+func (b *Breaker) Opens() int64 { return b.opens }

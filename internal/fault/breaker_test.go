@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreaker() (*Breaker, *time.Duration) {
+	clock := new(time.Duration)
+	b := NewBreaker(BreakerConfig{
+		Window:           4,
+		MinSamples:       2,
+		FailureThreshold: 0.5,
+		OpenFor:          time.Second,
+		HalfOpenProbes:   2,
+	}, func() time.Duration { return *clock })
+	return b, clock
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	b, _ := testBreaker()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker not closed")
+	}
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below MinSamples")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("state %v after 2/2 failures, want open", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("opens = %d, want 1", b.Opens())
+	}
+	// Outcomes of already-admitted work must not extend the open window.
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatal("open breaker changed state on a late outcome")
+	}
+}
+
+func TestBreakerHalfOpenThenClose(t *testing.T) {
+	b, clock := testBreaker()
+	b.Record(false)
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	*clock = 500 * time.Millisecond
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("breaker left open state before OpenFor elapsed")
+	}
+	*clock = time.Second // OpenFor elapsed on the virtual clock
+	if b.State() != BreakerHalfOpen || !b.Allow() {
+		t.Fatalf("state %v after OpenFor, want half-open and allowing probes", b.State())
+	}
+	b.Record(true)
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("closed before HalfOpenProbes consecutive successes")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after %d probe successes, want closed", b.State(), 2)
+	}
+	// The window must be clean after reset: 1/4 failures stays below the
+	// 0.5 threshold only if the pre-trip failures were cleared.
+	b.Record(true)
+	b.Record(true)
+	b.Record(true)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("stale window samples survived the reset")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clock := testBreaker()
+	b.Record(false)
+	b.Record(false)
+	*clock = time.Second
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("breaker not half-open")
+	}
+	b.Record(true)  // one probe succeeds...
+	b.Record(false) // ...then a failure re-trips immediately
+	if b.State() != BreakerOpen || b.Opens() != 2 {
+		t.Fatalf("state %v opens %d, want re-opened (2 opens)", b.State(), b.Opens())
+	}
+	// The second open window starts at the re-trip time, not the first.
+	*clock = 1900 * time.Millisecond
+	if b.State() != BreakerOpen {
+		t.Fatal("second open window ended early")
+	}
+	*clock = 2 * time.Second
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("second open window did not end")
+	}
+}
+
+func TestBreakerSlidingWindow(t *testing.T) {
+	b, _ := testBreaker()
+	// Fill the window with successes, then two failures: rate 2/4 = 0.5.
+	b.Record(true)
+	b.Record(true)
+	b.Record(true)
+	b.Record(true)
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped at 1/4 failure rate")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v at 2/4 failure rate with threshold 0.5, want open", b.State())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package mem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// FetchVerdict is a fault agent's ruling on one fetch attempt. A nil Err
+// lets the attempt proceed (optionally slowed by LatencyScale > 1);
+// a non-nil Err fails it. FaultTrace names the injected fault's trace ID
+// so spans recording the retry/failure can link back to its cause.
+type FetchVerdict struct {
+	Err          error
+	LatencyScale float64
+	FaultTrace   string
+}
+
+// FaultAgent decides, per fetch attempt, whether an injected fault fires.
+// Implementations must be deterministic in (pool, at) plus their own
+// seeded state — never wall clock or global randomness.
+type FaultAgent interface {
+	// FetchVerdict rules on a fetch attempt against pool at virtual time at.
+	FetchVerdict(pool string, at time.Duration) FetchVerdict
+	// PoolDown reports whether pool is inside an outage window at virtual
+	// time at, returning the fault's trace ID when it is.
+	PoolDown(pool string, at time.Duration) (faultTrace string, down bool)
+}
+
+// ErrPoolUnavailable reports that a pool is inside an injected outage
+// window: no fetch or restore against it can succeed until the window
+// closes. Callers should fall back (e.g. to a local cold start) rather
+// than retrying immediately.
+type ErrPoolUnavailable struct {
+	Pool       string // pool kind ("cxl", "rdma", "tmpfs", ...)
+	FaultTrace string // trace ID of the injected outage ("" = unknown)
+}
+
+func (e *ErrPoolUnavailable) Error() string {
+	return fmt.Sprintf("mem: pool %s unavailable (injected outage)", e.Pool)
+}
+
+// ErrFlakyFetch is a transient injected failure of one fetch attempt.
+// It is retryable: the next attempt may succeed.
+type ErrFlakyFetch struct {
+	Pool       string
+	FaultTrace string
+}
+
+func (e *ErrFlakyFetch) Error() string {
+	return fmt.Sprintf("mem: flaky fetch on pool %s (injected)", e.Pool)
+}
+
+// ErrFetchFailed reports a fetch that exhausted its retry budget. Cause
+// holds the last attempt's error so errors.As still sees the underlying
+// fault type.
+type ErrFetchFailed struct {
+	Pool       string
+	Attempts   int
+	FaultTrace string
+	Cause      error
+}
+
+func (e *ErrFetchFailed) Error() string {
+	return fmt.Sprintf("mem: fetch from pool %s failed after %d attempts: %v", e.Pool, e.Attempts, e.Cause)
+}
+
+func (e *ErrFetchFailed) Unwrap() error { return e.Cause }
+
+// RetryPolicy bounds how a pool retries faulted fetches: each failed
+// attempt charges Deadline (the time spent discovering the failure) plus
+// a jittered exponential backoff before the next attempt.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts including the first (>= 1)
+	Deadline    time.Duration // per-attempt failure-detection cost
+	BackoffBase time.Duration // backoff before attempt 2; doubles per retry
+	BackoffMax  time.Duration // cap on a single backoff
+}
+
+// DefaultRetryPolicy matches RDMA-scale failure detection: microsecond
+// deadlines, a handful of attempts, capped exponential backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		Deadline:    200 * time.Microsecond,
+		BackoffBase: 100 * time.Microsecond,
+		BackoffMax:  2 * time.Millisecond,
+	}
+}
+
+// FetchOutcome describes how a fetch concluded: how many attempts ran,
+// and which injected fault (if any) it collided with along the way —
+// FaultTrace is set even when the fetch eventually succeeded, so spans
+// can link retries to their cause.
+type FetchOutcome struct {
+	Attempts   int
+	Retries    int
+	FaultTrace string
+}
+
+// SetFaultAgent attaches a fault agent consulted on every fetch, with
+// clock supplying the current virtual time. A nil agent detaches.
+func (p *Pool) SetFaultAgent(agent FaultAgent, clock func() time.Duration) {
+	p.faults = agent
+	p.clock = clock
+	if p.retry.MaxAttempts == 0 {
+		p.retry = DefaultRetryPolicy()
+	}
+}
+
+// SetRetryPolicy overrides the pool's retry policy (MaxAttempts >= 1).
+func (p *Pool) SetRetryPolicy(rp RetryPolicy) {
+	if rp.MaxAttempts < 1 {
+		rp.MaxAttempts = 1
+	}
+	p.retry = rp
+}
+
+// RetryPolicyInEffect returns the policy a faulted fetch retries under.
+func (p *Pool) RetryPolicyInEffect() RetryPolicy {
+	if p.retry.MaxAttempts == 0 {
+		return DefaultRetryPolicy()
+	}
+	return p.retry
+}
+
+// Unavailable reports whether the pool is inside an injected outage
+// window right now, as a typed *ErrPoolUnavailable (nil = available).
+func (p *Pool) Unavailable() error {
+	if p.faults == nil || p.clock == nil {
+		return nil
+	}
+	if trace, down := p.faults.PoolDown(p.kind.String(), p.clock()); down {
+		return &ErrPoolUnavailable{Pool: p.kind.String(), FaultTrace: trace}
+	}
+	return nil
+}
+
+// Retries returns fetch attempts beyond the first (injected-fault recovery).
+func (p *Pool) Retries() int64 { return p.retries }
+
+// FaultFailures returns fetch attempts failed by an injected fault.
+func (p *Pool) FaultFailures() int64 { return p.faultFails }
+
+// FetchExhausted returns fetches that gave up after MaxAttempts.
+func (p *Pool) FetchExhausted() int64 { return p.exhausted }
+
+// Fetch is FetchLatency made fault-aware: it consults the pool's fault
+// agent per attempt and retries transient failures under the retry
+// policy, charging the failed attempts' deadlines and seeded-jitter
+// backoff into the returned latency. With no agent attached it consumes
+// exactly the same rng draws as FetchLatency, so fault-free runs are
+// bit-identical to pre-fault behavior.
+func (p *Pool) Fetch(rng *rand.Rand, pages int) (time.Duration, FetchOutcome, error) {
+	if pages <= 0 {
+		return 0, FetchOutcome{Attempts: 1}, nil
+	}
+	if p.faults == nil || p.clock == nil {
+		return p.FetchLatency(rng, pages), FetchOutcome{Attempts: 1}, nil
+	}
+	rp := p.RetryPolicyInEffect()
+	var elapsed time.Duration
+	out := FetchOutcome{}
+	var lastErr error
+	for attempt := 1; attempt <= rp.MaxAttempts; attempt++ {
+		out.Attempts = attempt
+		v := p.faults.FetchVerdict(p.kind.String(), p.clock()+elapsed)
+		if v.FaultTrace != "" {
+			out.FaultTrace = v.FaultTrace
+		}
+		if v.Err == nil {
+			d := p.FetchLatency(rng, pages)
+			if v.LatencyScale > 1 {
+				d = time.Duration(float64(d) * v.LatencyScale)
+			}
+			return elapsed + d, out, nil
+		}
+		lastErr = v.Err
+		p.faultFails++
+		elapsed += rp.Deadline
+		// An outage window fails every retry until it closes — give up
+		// immediately and let the caller fall back instead of burning
+		// the whole retry budget inside the window.
+		if _, down := lastErr.(*ErrPoolUnavailable); down {
+			break
+		}
+		if attempt < rp.MaxAttempts {
+			p.retries++
+			out.Retries++
+			back := rp.BackoffBase << (attempt - 1)
+			if back > rp.BackoffMax {
+				back = rp.BackoffMax
+			}
+			if back > 0 {
+				half := int64(back / 2)
+				elapsed += time.Duration(half + rng.Int63n(half+1))
+			}
+		}
+	}
+	p.exhausted++
+	if pu, ok := lastErr.(*ErrPoolUnavailable); ok {
+		return elapsed, out, pu
+	}
+	return elapsed, out, &ErrFetchFailed{
+		Pool:       p.kind.String(),
+		Attempts:   out.Attempts,
+		FaultTrace: out.FaultTrace,
+		Cause:      lastErr,
+	}
+}

@@ -1,0 +1,178 @@
+package mem
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// scriptAgent replays a fixed sequence of verdicts, then passes every
+// further attempt. It lets tests drive exact retry-then-succeed and
+// retry-exhausted fetch sequences without an Injector.
+type scriptAgent struct {
+	verdicts []FetchVerdict
+	down     bool
+	calls    int
+}
+
+func (a *scriptAgent) FetchVerdict(pool string, at time.Duration) FetchVerdict {
+	a.calls++
+	if len(a.verdicts) == 0 {
+		return FetchVerdict{}
+	}
+	v := a.verdicts[0]
+	a.verdicts = a.verdicts[1:]
+	return v
+}
+
+func (a *scriptAgent) PoolDown(pool string, at time.Duration) (string, bool) {
+	if a.down {
+		return "trace-outage", true
+	}
+	return "", false
+}
+
+func flakyVerdict(pool string) FetchVerdict {
+	return FetchVerdict{
+		Err:        &ErrFlakyFetch{Pool: pool, FaultTrace: "trace-flaky"},
+		FaultTrace: "trace-flaky",
+	}
+}
+
+func TestFetchRetryThenSucceed(t *testing.T) {
+	p := NewPool(RDMA, 1<<30, DefaultLatencyModel())
+	agent := &scriptAgent{verdicts: []FetchVerdict{flakyVerdict("rdma"), flakyVerdict("rdma")}}
+	p.SetFaultAgent(agent, func() time.Duration { return 0 })
+
+	d, out, err := p.Fetch(rand.New(rand.NewSource(1)), 8)
+	if err != nil {
+		t.Fatalf("fetch after transient faults: %v", err)
+	}
+	if out.Attempts != 3 || out.Retries != 2 {
+		t.Fatalf("attempts=%d retries=%d, want 3/2", out.Attempts, out.Retries)
+	}
+	if out.FaultTrace != "trace-flaky" {
+		t.Fatalf("fault trace %q, want trace-flaky (links retries to their cause)", out.FaultTrace)
+	}
+	// Two failed attempts charge two deadlines plus backoff on top of the
+	// successful attempt's fetch latency.
+	rp := p.RetryPolicyInEffect()
+	if d < 2*rp.Deadline {
+		t.Fatalf("latency %v did not charge the failed attempts (deadline %v)", d, rp.Deadline)
+	}
+	if p.Retries() != 2 || p.FaultFailures() != 2 || p.FetchExhausted() != 0 {
+		t.Fatalf("counters retries=%d faults=%d exhausted=%d, want 2/2/0",
+			p.Retries(), p.FaultFailures(), p.FetchExhausted())
+	}
+}
+
+func TestFetchRetryExhausted(t *testing.T) {
+	p := NewPool(RDMA, 1<<30, DefaultLatencyModel())
+	agent := &scriptAgent{verdicts: []FetchVerdict{
+		flakyVerdict("rdma"), flakyVerdict("rdma"), flakyVerdict("rdma"), flakyVerdict("rdma"),
+	}}
+	p.SetFaultAgent(agent, func() time.Duration { return 0 })
+
+	_, out, err := p.Fetch(rand.New(rand.NewSource(1)), 8)
+	if err == nil {
+		t.Fatal("fetch succeeded despite faults on every attempt")
+	}
+	var failed *ErrFetchFailed
+	if !errors.As(err, &failed) {
+		t.Fatalf("error type %T, want *ErrFetchFailed", err)
+	}
+	if failed.Attempts != p.RetryPolicyInEffect().MaxAttempts {
+		t.Fatalf("reported attempts = %d, want %d", failed.Attempts, p.RetryPolicyInEffect().MaxAttempts)
+	}
+	var flaky *ErrFlakyFetch
+	if !errors.As(err, &flaky) {
+		t.Fatalf("cause of %v does not unwrap to *ErrFlakyFetch", err)
+	}
+	if out.Attempts != 4 || out.Retries != 3 {
+		t.Fatalf("attempts=%d retries=%d, want 4/3", out.Attempts, out.Retries)
+	}
+	if p.FetchExhausted() != 1 {
+		t.Fatalf("exhausted = %d, want 1", p.FetchExhausted())
+	}
+}
+
+func TestFetchOutageFailsFast(t *testing.T) {
+	p := NewPool(RDMA, 1<<30, DefaultLatencyModel())
+	outage := FetchVerdict{
+		Err:        &ErrPoolUnavailable{Pool: "rdma", FaultTrace: "trace-outage"},
+		FaultTrace: "trace-outage",
+	}
+	agent := &scriptAgent{verdicts: []FetchVerdict{outage, outage, outage, outage}}
+	p.SetFaultAgent(agent, func() time.Duration { return 0 })
+
+	_, out, err := p.Fetch(rand.New(rand.NewSource(1)), 8)
+	var unavailable *ErrPoolUnavailable
+	if !errors.As(err, &unavailable) {
+		t.Fatalf("error %v (%T), want *ErrPoolUnavailable", err, err)
+	}
+	// Outages fail every retry until the window closes: one attempt, no
+	// retry-budget burn, so the caller can fall back immediately.
+	if out.Attempts != 1 || out.Retries != 0 {
+		t.Fatalf("attempts=%d retries=%d, want 1/0 (fail fast inside outage)", out.Attempts, out.Retries)
+	}
+	if agent.calls != 1 {
+		t.Fatalf("agent consulted %d times, want 1", agent.calls)
+	}
+}
+
+func TestFetchDegradeScalesLatency(t *testing.T) {
+	lat := DefaultLatencyModel()
+	lat.RDMACliffProbability = 0 // keep the comparison deterministic
+	p := NewPool(RDMA, 1<<30, lat)
+	base, _, err := p.Fetch(rand.New(rand.NewSource(7)), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewPool(RDMA, 1<<30, lat)
+	p2.SetFaultAgent(&scriptAgent{verdicts: []FetchVerdict{{LatencyScale: 3, FaultTrace: "trace-degrade"}}},
+		func() time.Duration { return 0 })
+	slow, out, err := p2.Fetch(rand.New(rand.NewSource(7)), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FaultTrace != "trace-degrade" {
+		t.Fatalf("fault trace %q, want trace-degrade", out.FaultTrace)
+	}
+	if slow != 3*base {
+		t.Fatalf("degraded fetch %v, want 3x base %v", slow, base)
+	}
+}
+
+func TestFetchNoAgentMatchesFetchLatency(t *testing.T) {
+	lat := DefaultLatencyModel()
+	p1 := NewPool(RDMA, 1<<30, lat)
+	p2 := NewPool(RDMA, 1<<30, lat)
+	// Same seed, same draws: Fetch without an agent must be bit-identical
+	// to FetchLatency so fault-free runs don't shift.
+	r1, r2 := rand.New(rand.NewSource(42)), rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		want := p1.FetchLatency(r1, 4+i)
+		got, out, err := p2.Fetch(r2, 4+i)
+		if err != nil || got != want || out.Attempts != 1 || out.Retries != 0 {
+			t.Fatalf("iter %d: Fetch=(%v,%+v,%v), FetchLatency=%v", i, got, out, err, want)
+		}
+	}
+}
+
+func TestPoolUnavailableProbe(t *testing.T) {
+	p := NewPool(CXL, 1<<30, DefaultLatencyModel())
+	if err := p.Unavailable(); err != nil {
+		t.Fatalf("pool with no agent reported unavailable: %v", err)
+	}
+	p.SetFaultAgent(&scriptAgent{down: true}, func() time.Duration { return 0 })
+	err := p.Unavailable()
+	var unavailable *ErrPoolUnavailable
+	if !errors.As(err, &unavailable) {
+		t.Fatalf("error %v (%T), want *ErrPoolUnavailable", err, err)
+	}
+	if unavailable.Pool != "cxl" || unavailable.FaultTrace != "trace-outage" {
+		t.Fatalf("unavailable = %+v", unavailable)
+	}
+}

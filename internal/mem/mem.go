@@ -249,6 +249,18 @@ type Pool struct {
 	// home names the node (or memory server) hosting the pool, for
 	// cross-node span attribution ("" = unplaced).
 	home string
+
+	// Optional fault injection (SetFaultAgent): every fetch consults the
+	// agent at the current virtual time and failures are retried under
+	// the pool's RetryPolicy. clock supplies virtual time so the fault
+	// schedule stays deterministic (never wall clock).
+	faults FaultAgent
+	clock  func() time.Duration
+	retry  RetryPolicy
+
+	retries    int64 // fetch attempts beyond the first
+	faultFails int64 // attempts failed by an injected fault
+	exhausted  int64 // fetches that gave up after MaxAttempts
 }
 
 // SetHome labels the pool with the node hosting it.

@@ -32,4 +32,10 @@ func (p *Pool) RegisterMetricsLabeled(reg *obs.Registry, extra map[string]string
 		func() int64 { return p.pagesFetched })
 	reg.CounterFunc("trenv_pool_pages_direct_total", "Pages served in place via byte-addressable loads (CXL).", labels,
 		func() int64 { return p.pagesDirect })
+	reg.CounterFunc("trenv_pool_fetch_retries_total", "Fetch attempts beyond the first (injected-fault recovery).", labels,
+		func() int64 { return p.retries })
+	reg.CounterFunc("trenv_pool_fetch_fault_failures_total", "Fetch attempts failed by an injected fault.", labels,
+		func() int64 { return p.faultFails })
+	reg.CounterFunc("trenv_pool_fetch_exhausted_total", "Fetches that gave up after exhausting the retry budget.", labels,
+		func() int64 { return p.exhausted })
 }

@@ -24,4 +24,10 @@ func RegisterStats(reg *obs.Registry, labels map[string]string, s *Stats) {
 	reg.CounterFunc("trenv_page_local_allocated_bytes_total",
 		"Bytes of node DRAM allocated by page faults and restores.", labels,
 		func() int64 { return s.LocalAllocated })
+	reg.CounterFunc("trenv_page_fetch_retries_total",
+		"Page-fetch attempts retried after injected faults.", labels,
+		func() int64 { return s.Retries })
+	reg.CounterFunc("trenv_page_fetch_errors_total",
+		"Page accesses failed by an unrecoverable fetch error.", labels,
+		func() int64 { return s.FetchErrors })
 }

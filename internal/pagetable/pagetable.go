@@ -176,6 +176,8 @@ type Stats struct {
 	FetchedPages   int64 // pages pulled from RDMA/NAS pools
 	DirectAccess   int64 // CXL pages used via direct loads (no fault)
 	LocalAllocated int64 // bytes of node DRAM allocated
+	Retries        int64 // fetch attempts retried after injected faults
+	FetchErrors    int64 // accesses failed by an unrecoverable fetch error
 }
 
 // AccessResult describes one aggregated access batch.
@@ -192,6 +194,11 @@ type AccessResult struct {
 	// attribution needs to blame remote memory specifically.
 	FetchLat  time.Duration
 	FetchPool string
+	// Retries counts fetch attempts beyond the first (injected-fault
+	// recovery); FaultTrace is the trace ID of the fault that forced
+	// them ("" = clean), so exec spans can link back to the cause.
+	Retries    int
+	FaultTrace string
 }
 
 // AddressSpace is a process's memory map.
@@ -388,17 +395,19 @@ func (as *AddressSpace) Access(rng *rand.Rand, v *VMA, readPages, writePages int
 	var total AccessResult
 	if writePages > 0 {
 		res, err := as.accessVMA(rng, v, 0, writePages, true)
+		// Fold the partial result in even on error: a failed access still
+		// spent its retries, and the caller records them on the span.
+		total = addResults(total, res)
 		if err != nil {
 			return total, err
 		}
-		total = addResults(total, res)
 	}
 	if readPages > writePages {
 		res, err := as.accessVMA(rng, v, writePages, readPages-writePages, false)
+		total = addResults(total, res)
 		if err != nil {
 			return total, err
 		}
-		total = addResults(total, res)
 	}
 	return total, nil
 }
@@ -413,6 +422,10 @@ func addResults(a, b AccessResult) AccessResult {
 	a.FetchLat += b.FetchLat
 	if a.FetchPool == "" {
 		a.FetchPool = b.FetchPool
+	}
+	a.Retries += b.Retries
+	if a.FaultTrace == "" {
+		a.FaultTrace = b.FaultTrace
 	}
 	return a
 }
@@ -487,16 +500,41 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 			return res, err
 		}
 	}
+	// Iterate fetch pools in a fixed order: fault verdicts and retry
+	// backoff draw from rng per pool, so map order would leak into the
+	// simulation's random stream.
+	fetchPools := make([]*mem.Pool, 0, len(fetch))
+	for pool := range fetch {
+		fetchPools = append(fetchPools, pool)
+	}
+	sort.Slice(fetchPools, func(i, j int) bool {
+		return fetchPools[i].Kind().String() < fetchPools[j].Kind().String()
+	})
 	maxFetch := 0
-	for pool, n := range fetch {
-		res.MajorFaults += n
-		res.FetchedPages += n
+	for _, pool := range fetchPools {
+		n := fetch[pool]
 		flat := time.Duration(n) * as.lat.FaultOverhead
 		// Contention is sampled from the pool's current outstanding load;
 		// callers that sleep through this latency are expected to hold
 		// BeginFetch/EndFetch on the pool for the sleep's duration so that
 		// concurrent sessions see each other.
-		flat += pool.FetchLatency(rng, n)
+		d, out, err := pool.Fetch(rng, n)
+		res.Retries += out.Retries
+		if res.FaultTrace == "" {
+			res.FaultTrace = out.FaultTrace
+		}
+		if err != nil {
+			as.stats.FetchErrors++
+			as.stats.Retries += int64(out.Retries)
+			if as.sink != nil {
+				as.sink.FetchErrors++
+				as.sink.Retries += int64(out.Retries)
+			}
+			return res, fmt.Errorf("pagetable: fetch %d pages of %q from pool %s: %w", n, v.Name, pool.Kind(), err)
+		}
+		res.MajorFaults += n
+		res.FetchedPages += n
+		flat += d
 		lat += flat
 		res.FetchLat += flat
 		kind := pool.Kind().String()
@@ -526,6 +564,7 @@ func (s *Stats) addAccess(res AccessResult) {
 	s.CowPages += int64(res.CowPages)
 	s.FetchedPages += int64(res.FetchedPages)
 	s.DirectAccess += int64(res.DirectPages)
+	s.Retries += int64(res.Retries)
 }
 
 // Grow extends v by pages of demand-zero memory (e.g. heap growth via

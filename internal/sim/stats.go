@@ -28,6 +28,19 @@ func (h *Histogram) AddDuration(d time.Duration) {
 	h.Add(float64(d) / float64(time.Millisecond))
 }
 
+// Merge folds other's samples into h (other is unchanged). Because the
+// histogram stores raw samples, percentiles over the merged set are
+// exact — cluster experiments use this to get fleet-wide tails from
+// per-node histograms.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.vals) == 0 {
+		return
+	}
+	h.vals = append(h.vals, other.vals...)
+	h.sorted = false
+	h.sum += other.sum
+}
+
 // N returns the number of samples.
 func (h *Histogram) N() int { return len(h.vals) }
 

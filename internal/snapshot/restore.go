@@ -189,6 +189,9 @@ func RestoreLazy(rng *rand.Rand, snap *Snapshot, tracker *mem.Tracker, tmpfs *me
 	if cfg.Coverage <= 0 || cfg.Coverage > 1 || cfg.EagerFraction < 0 || cfg.EagerFraction > 1 {
 		return nil, fmt.Errorf("snapshot: bad lazy config: coverage=%v eager=%v", cfg.Coverage, cfg.EagerFraction)
 	}
+	if err := tmpfs.Unavailable(); err != nil {
+		return nil, fmt.Errorf("snapshot: lazy restore of %q: %w", snap.Function, err)
+	}
 	spaces, regions, err := layout(snap, tracker, lat, tmpfs, pagetable.RemoteLazy)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: lazy restore of %q: %w", snap.Function, err)
@@ -257,6 +260,15 @@ func RestoreLazy(rng *rand.Rand, snap *Snapshot, tracker *mem.Tracker, tmpfs *me
 // image pages stay in the pool until CoW or lazy touch.
 func RestoreTemplate(img *Image, tracker *mem.Tracker, lat mem.LatencyModel, attach mmtemplate.CostModel, costs Costs) (*Restored, error) {
 	snap := img.Snapshot
+	// A template attach is only metadata, but the resulting PTEs point at
+	// pool pages — attaching against a pool inside an injected outage
+	// window would wedge on first touch. Fail fast with the typed error
+	// so the platform can fall back to a local cold start.
+	for _, pool := range img.Pools() {
+		if err := pool.Unavailable(); err != nil {
+			return nil, fmt.Errorf("snapshot: template restore of %q: %w", snap.Function, err)
+		}
+	}
 	res := &Restored{Snapshot: snap}
 	bd := Breakdown{Orchestration: costs.RepurposeOrchestration}
 	for pi, tpl := range img.Templates {

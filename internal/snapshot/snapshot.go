@@ -117,6 +117,21 @@ type Image struct {
 
 	store     *Store
 	blockKeys []string
+	pools     []*mem.Pool // distinct pools backing the image's pages
+}
+
+// Pools returns the distinct pools the image's pages live on, in
+// placement order (hot first). Restores probe these for availability
+// before attaching templates.
+func (img *Image) Pools() []*mem.Pool { return img.pools }
+
+func (img *Image) notePool(p *mem.Pool) {
+	for _, q := range img.pools {
+		if q == p {
+			return
+		}
+	}
+	img.pools = append(img.pools, p)
 }
 
 // Store preprocesses snapshots into a block store + template registry.
@@ -223,6 +238,7 @@ func (st *Store) Preprocess(snap *Snapshot, place Placement) (*Image, error) {
 					cleanup()
 					return nil, err
 				}
+				img.notePool(place.Hot)
 			}
 			if cold := pages - hotPages; cold > 0 {
 				b, _, err := st.storeFor(place.Cold).Put(key+"#cold", cold)
@@ -234,6 +250,7 @@ func (st *Store) Preprocess(snap *Snapshot, place Placement) (*Image, error) {
 					cleanup()
 					return nil, err
 				}
+				img.notePool(place.Cold)
 			}
 			va += uint64(length) + regionGap
 		}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/faas"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
 	"repro/internal/obs"
@@ -396,6 +397,71 @@ func RegisterSchedulerTraceLog(reg *MetricsRegistry, labels map[string]string, l
 func RegisterTracerDrops(reg *MetricsRegistry, labels map[string]string, tr *Tracer) {
 	obs.RegisterTracerDrops(reg, labels, tr)
 }
+
+// ---------------------------------------------------------------------
+// Fault injection and failure recovery (deterministic chaos).
+
+// FaultScenario schedules pool outages, latency degradation, flaky
+// fetches, node crashes, and link flaps against virtual time.
+type FaultScenario = fault.Scenario
+
+// FaultInjector compiles a FaultScenario into the agent pools consult on
+// every fetch. Same seed, same scenario => byte-identical chaos runs.
+type FaultInjector = fault.Injector
+
+// ChaosStatus is the armed schedule plus injected-fault counts by kind
+// (the JSON shape of trenvd's GET /chaos).
+type ChaosStatus = fault.Status
+
+// NewFaultInjector compiles sc against eng's virtual clock with its own
+// seeded rng (probabilistic faults never perturb the engine's stream).
+func NewFaultInjector(eng *Engine, seed int64, sc FaultScenario) *FaultInjector {
+	return fault.NewInjector(eng, seed, sc)
+}
+
+// ParseChaosSpec parses a compact comma-separated chaos spec, e.g.
+// "outage:cxl:10s-20s,flaky:rdma:0.2:burst=3,crash:n1:30s".
+func ParseChaosSpec(spec string) (FaultScenario, error) { return fault.ParseSpec(spec) }
+
+// CircuitBreaker tracks a node's pool-fetch failure rate and trips
+// closed -> open -> half-open over virtual time.
+type CircuitBreaker = fault.Breaker
+
+// CircuitBreakerConfig tunes window, thresholds, and open duration.
+type CircuitBreakerConfig = fault.BreakerConfig
+
+// NewCircuitBreaker builds a breaker over a virtual clock.
+func NewCircuitBreaker(cfg CircuitBreakerConfig, now func() time.Duration) *CircuitBreaker {
+	return fault.NewBreaker(cfg, now)
+}
+
+// DefaultCircuitBreakerConfig returns the cluster's breaker tuning.
+func DefaultCircuitBreakerConfig() CircuitBreakerConfig { return fault.DefaultBreakerConfig() }
+
+// RetryPolicy bounds fetch retries (attempts, per-attempt deadline,
+// exponential backoff); see ContainerConfig.Retry.
+type RetryPolicy = mem.RetryPolicy
+
+// DefaultRetryPolicy returns the fetch retry policy applied when chaos
+// is attached without an explicit override.
+func DefaultRetryPolicy() RetryPolicy { return mem.DefaultRetryPolicy() }
+
+// InvocationResult is one invocation's terminal outcome (see
+// ContainerConfig.OnResult and Cluster.SetResultHook).
+type InvocationResult = faas.InvocationResult
+
+// Invocation outcomes.
+const (
+	// OutcomeSuccess is a normally completed invocation.
+	OutcomeSuccess = faas.OutcomeSuccess
+	// OutcomeFallback completed via a local cold start after the remote
+	// pool was unavailable (graceful degradation).
+	OutcomeFallback = faas.OutcomeFallback
+	// OutcomeError is a typed failure (no silent losses).
+	OutcomeError = faas.OutcomeError
+	// OutcomeCrashed was aborted by a node crash; clusters re-dispatch it.
+	OutcomeCrashed = faas.OutcomeCrashed
+)
 
 // ---------------------------------------------------------------------
 // Experiment harness (every table and figure of the evaluation).
