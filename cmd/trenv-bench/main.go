@@ -6,7 +6,7 @@
 //	trenv-bench [-exp table1,fig17,...|all] [-seed N] [-scale F]
 //	            [-json] [-trace out.json] [-timeseries out.json]
 //	            [-analyze report.json] [-flame out.folded]
-//	            [-chaos spec]
+//	            [-chaos spec] [-prefetch]
 //
 // -json prints the results as a JSON array instead of paper-style text;
 // -trace collects every invocation's span tree during the runs and
@@ -46,6 +46,7 @@ func main() {
 	flamePath := flag.String("flame", "", "write recorded spans as folded flamegraph stacks to this file")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec applied to every run, e.g. 'outage:cxl:10s-20s,flaky:rdma:0.2:burst=3,crash:n1:30s'")
+	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching on every TrEnv platform the experiments build")
 	flag.Parse()
 
 	var tee io.Writer = os.Stdout
@@ -65,7 +66,7 @@ func main() {
 		}
 		return
 	}
-	o := experiments.Options{Seed: *seed, Scale: *scale}
+	o := experiments.Options{Seed: *seed, Scale: *scale, Prefetch: *prefetch}
 	if *tracePath != "" || *analyzePath != "" || *flamePath != "" {
 		o.Tracer = obs.NewTracer(0)
 	}

@@ -7,11 +7,16 @@
 //
 //	trenvd [-addr :8080] [-policy trenv-cxl] [-seed 1] [-node n0]
 //	       [-slo-target-ms 0] [-slo-objective 0.99] [-sample-ms 100]
+//	       [-prefetch] [-promote-threshold 0]
 //
 // -node labels every exported series (node="n0") so several trenvd
 // instances can be scraped into one fleet view; -slo-target-ms enables
 // SLO burn-rate tracking; -sample-ms sets the flight-recorder sampling
-// interval in virtual milliseconds.
+// interval in virtual milliseconds; -prefetch enables working-set
+// prefetching on TrEnv policies (first run of a function records its
+// fault order, later restores replay it as batched remote fetches);
+// -promote-threshold additionally promotes runs replayed at least that
+// many times into the node's direct-access cache.
 //
 // Endpoints:
 //
@@ -83,6 +88,8 @@ type serverOptions struct {
 	sloTarget    time.Duration // > 0 enables SLO burn-rate tracking
 	sloObjective float64
 	sampleEvery  time.Duration // flight-recorder interval (<= 0 = default)
+	prefetch     bool          // working-set prefetching (TrEnv policies only)
+	promoteAfter int           // replay count that promotes a run (0 = never)
 }
 
 // newServer builds the control plane over a fresh simulated platform.
@@ -96,6 +103,8 @@ func newServerWith(o serverOptions) *server {
 	cfg.SLOTarget = o.sloTarget
 	cfg.SLOObjective = o.sloObjective
 	cfg.Node = o.node
+	cfg.Prefetch = o.prefetch
+	cfg.PromoteThreshold = o.promoteAfter
 	tracer := trenv.NewTracer(0)
 	cfg.Tracer = tracer
 	eng := trenv.NewEngine(o.seed)
@@ -183,6 +192,8 @@ func main() {
 	sloTargetMS := flag.Int("slo-target-ms", 0, "per-invocation latency SLO target in ms (0 disables SLO tracking)")
 	sloObjective := flag.Float64("slo-objective", 0, "fraction of invocations that must meet the target (default 0.99)")
 	sampleMS := flag.Int("sample-ms", 0, "flight-recorder sampling interval in virtual ms (0 = default)")
+	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching (TrEnv policies only)")
+	promoteAfter := flag.Int("promote-threshold", 0, "replay count that promotes a working set into the direct-access cache (0 = never; needs -prefetch)")
 	drain := flag.Duration("drain-timeout", 5*time.Second, "bounded drain window for graceful shutdown on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -193,6 +204,8 @@ func main() {
 		sloTarget:    time.Duration(*sloTargetMS) * time.Millisecond,
 		sloObjective: *sloObjective,
 		sampleEvery:  time.Duration(*sampleMS) * time.Millisecond,
+		prefetch:     *prefetch,
+		promoteAfter: *promoteAfter,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

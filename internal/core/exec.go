@@ -36,6 +36,11 @@ type ExecStats struct {
 	// FaultTrace names the fault that forced them ("" = clean run).
 	Retries    int
 	FaultTrace string
+	// PrefetchHits counts touched pages a working-set prefetch batch
+	// had delivered (or was in flight for) — demand fetches avoided;
+	// PrefetchWait is the time spent parked on in-flight batches.
+	PrefetchHits int
+	PrefetchWait time.Duration
 }
 
 // PromoteWorkingSet copies the instance's hot read-only pages from the
@@ -104,6 +109,8 @@ func (rt *Runtime) Execute(p *sim.Proc, in *Instance, opts ExecOptions) (ExecSta
 		if st.FetchPool == "" {
 			st.FetchPool = res.FetchPool
 		}
+		st.PrefetchHits += res.PrefetchHits
+		st.PrefetchWait += res.PrefetchWait
 	}
 	// Hot read-only data living on CXL slows every pass over it, not just
 	// the first touch: charge the profile's inflation scaled by how much

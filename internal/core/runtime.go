@@ -26,6 +26,7 @@ import (
 	"repro/internal/mmtemplate"
 	"repro/internal/osproc"
 	"repro/internal/pagetable"
+	"repro/internal/prefetch"
 	"repro/internal/sandbox"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -98,6 +99,11 @@ type Startup struct {
 	// the restore span so tail analysis can blame the medium.
 	RestorePool  string
 	RestorePages int64
+	// Prefetch summarizes the working-set prefetch pass the restore
+	// kicked off (nil when no prefetcher is attached or there was
+	// nothing to do). The batches race the invocation: their latency is
+	// NOT part of Total(), only of the faults they absorb.
+	Prefetch *prefetch.Summary
 }
 
 // Total returns the startup latency.
@@ -131,6 +137,12 @@ type Runtime struct {
 	// address space this runtime restored — the node-level series the
 	// metrics registry exports.
 	PageStats pagetable.Stats
+
+	// Prefetcher, when non-nil, runs the working-set prefetch pass on
+	// every TrEnv restore: the image's first run records its fault
+	// order, later restores replay it as batched fetches racing the
+	// invocation (see internal/prefetch).
+	Prefetcher *prefetch.Prefetcher
 }
 
 // adopt mirrors the restored spaces' fault accounting into the
@@ -331,6 +343,12 @@ func (rt *Runtime) StartTrEnv(p *sim.Proc, prof workload.FunctionProfile, img *s
 	}
 	st := Startup{Path: path, Sandbox: sandboxCost, Restore: res.Latency,
 		SandboxBD: sbd, RestoreBD: res.BD}
+	if rt.Prefetcher != nil {
+		// Restore is done; replay (or start recording) the image's
+		// working set. Batches race the invocation from here — their
+		// latency never blocks the start path.
+		st.Prefetch = rt.Prefetcher.OnRestore(p, img.WSLog, res)
+	}
 	return &Instance{Function: prof.Name, Profile: prof, Sandbox: sb, Restored: res,
 		Procs: procs, Path: path, OverheadBytes: rt.ContainerOverhead}, st, nil
 }

@@ -29,6 +29,7 @@ func containerPlatform(o Options, pol faas.Policy, softCap int64) *faas.Platform
 	cfg.Warmup = o.dur(5 * time.Minute)
 	cfg.SoftMemCap = softCap
 	cfg.Tracer = o.Tracer
+	cfg.Prefetch = o.Prefetch
 	pl := faas.New(cfg)
 	for _, p := range workload.Table4() {
 		if err := pl.Register(p); err != nil {

@@ -36,6 +36,11 @@ type Options struct {
 	// every platform an experiment builds (cmd/trenv-bench -chaos). The
 	// injector is seeded from Seed, so chaos runs stay reproducible.
 	Chaos *fault.Scenario
+	// Prefetch turns working-set prefetching on for every TrEnv platform
+	// an experiment builds (cmd/trenv-bench -prefetch); non-TrEnv
+	// policies ignore it. The dedicated "prefetch" experiment compares
+	// on vs off explicitly and is unaffected by this knob.
+	Prefetch bool
 }
 
 // chaosInjector compiles o.Chaos against eng, or returns nil when no
@@ -146,6 +151,7 @@ func All() []struct {
 		{"ablations", Ablations},
 		{"sensitivity", Sensitivity},
 		{"availability", Availability},
+		{"prefetch", Prefetch},
 	}
 }
 

@@ -31,7 +31,8 @@ func runAndCheck(t *testing.T, id string) *Result {
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig10",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-		"fig24", "fig25", "fig26", "ablations", "sensitivity", "availability"}
+		"fig24", "fig25", "fig26", "ablations", "sensitivity", "availability",
+		"prefetch"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -167,6 +168,42 @@ func TestSensitivityOrderingsSurvive(t *testing.T) {
 		}
 		if criu < cxl {
 			t.Fatalf("CRIU beat T-CXL under %q", line)
+		}
+	}
+}
+
+// TestPrefetchExperimentWins is the PR's acceptance assertion: with the
+// same seed and trace, the prefetch-on run must show a lower P99
+// restore cost and fewer demand remote faults than the prefetch-off
+// run, with the batched replay actually exercised.
+func TestPrefetchExperimentWins(t *testing.T) {
+	o := small().normalize()
+	tr := azureTrace(o)
+	on := runPrefetch(o, tr, true)
+	off := runPrefetch(o, tr, false)
+	if on.invocations != off.invocations {
+		t.Fatalf("runs diverged: %d vs %d invocations", on.invocations, off.invocations)
+	}
+	if on.restoreP99 >= off.restoreP99 {
+		t.Fatalf("prefetch did not lower restore p99: %.2f >= %.2f", on.restoreP99, off.restoreP99)
+	}
+	if on.demandPages >= off.demandPages {
+		t.Fatalf("prefetch did not reduce demand faults: %d >= %d", on.demandPages, off.demandPages)
+	}
+	if on.batches == 0 || on.hits == 0 || on.prefetchPages == 0 {
+		t.Fatalf("replay idle: batches=%d hits=%d pages=%d", on.batches, on.hits, on.prefetchPages)
+	}
+	if off.batches != 0 || off.prefetchPages != 0 {
+		t.Fatalf("off run prefetched: batches=%d pages=%d", off.batches, off.prefetchPages)
+	}
+}
+
+func TestPrefetchExperimentRuns(t *testing.T) {
+	r := runAndCheck(t, "prefetch")
+	s := strings.Join(r.Lines, "\n")
+	for _, frag := range []string{"prefetch-on", "prefetch-off", "restore p99", "fewer"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("prefetch result missing %q:\n%s", frag, s)
 		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mmtemplate"
 	"repro/internal/obs"
 	"repro/internal/pagetable"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/workload"
@@ -85,6 +86,26 @@ type Config struct {
 	// invocations, removing the steady-state remote-access penalty at
 	// the price of per-instance memory (§9.2.1's suggested tuning).
 	PromoteHotAfter int
+	// Prefetch enables working-set–guided prefetching on the TrEnv
+	// restore path: a template's first run records its demand-fault
+	// order into the image's working-set log; every later restore
+	// replays the log as doorbell-batched fetches racing the
+	// invocation, so demand faults on in-flight pages wait for their
+	// batch instead of paying a full round trip each (see
+	// internal/prefetch). Same-seed runs stay byte-identical with the
+	// flag on.
+	Prefetch bool
+	// PrefetchBatchPages caps pages per batched fetch (0 =
+	// prefetch.DefaultBatchPages).
+	PrefetchBatchPages int
+	// PromoteThreshold, with Prefetch, promotes a recorded run into the
+	// node's direct-access promotion cache once its cross-invocation
+	// replay count reaches this value — repeat RDMA faults become
+	// CXL-cost hits (0 disables promotion).
+	PromoteThreshold int
+	// PromoteCacheBytes bounds the promotion cache, LRU-evicted
+	// (0 = 256 MB).
+	PromoteCacheBytes int64
 	// PreWarmSandboxes provisions this many cleaned sandboxes into the
 	// universal pool before traffic arrives (TrEnv policies), so even
 	// the very first burst repurposes instead of building isolation
@@ -189,6 +210,12 @@ type Platform struct {
 	recorder *obs.Recorder
 	recEvery time.Duration
 
+	// prefetcher replays working-set logs on TrEnv restores; promoCache
+	// is its direct-access promotion cache (both nil unless
+	// Config.Prefetch is set on a TrEnv policy).
+	prefetcher *prefetch.Prefetcher
+	promoCache *mem.PromotionCache
+
 	// nodeName labels spans/IDs; invSeq numbers invocations so trace
 	// identity is deterministic (hash of node, function, sequence).
 	nodeName string
@@ -279,8 +306,34 @@ func New(cfg Config) *Platform {
 			pool.SetHome(pl.nodeName)
 		}
 	}
+	// Working-set prefetching rides the TrEnv restore path only: other
+	// policies restore eagerly (or not at all), so there is nothing to
+	// replay.
+	if cfg.Prefetch && cfg.Policy.IsTrEnv() {
+		if cfg.PromoteThreshold > 0 {
+			capBytes := cfg.PromoteCacheBytes
+			if capBytes == 0 {
+				capBytes = 256 << 20
+			}
+			pl.promoCache = mem.NewPromotionCache(capBytes, lat)
+			pl.promoCache.Pool().SetHome(pl.nodeName)
+		}
+		pl.prefetcher = prefetch.New(pl.promoCache, prefetch.Config{
+			BatchPages:   cfg.PrefetchBatchPages,
+			PromoteAfter: cfg.PromoteThreshold,
+		})
+		pl.rt.Prefetcher = pl.prefetcher
+	}
 	return pl
 }
+
+// Prefetcher returns the node's working-set prefetcher (nil unless
+// Config.Prefetch is set on a TrEnv policy).
+func (pl *Platform) Prefetcher() *prefetch.Prefetcher { return pl.prefetcher }
+
+// PromotionCache returns the node's hot-page promotion cache (nil
+// unless prefetching with a promotion threshold is configured).
+func (pl *Platform) PromotionCache() *mem.PromotionCache { return pl.promoCache }
 
 // NodeName returns the node label this platform stamps on spans.
 func (pl *Platform) NodeName() string { return pl.nodeName }
@@ -339,6 +392,9 @@ func (pl *Platform) RegisterMetricsLabeled(reg *obs.Registry, labels map[string]
 	}
 	for _, pool := range pools {
 		pool.RegisterMetricsLabeled(reg, labels)
+	}
+	if pl.promoCache != nil {
+		pl.promoCache.RegisterMetricsLabeled(reg, labels)
 	}
 	pagetable.RegisterStats(reg, labels, &pl.rt.PageStats)
 	reg.CounterFunc("trenv_sandboxes_created_total", "Sandboxes built from scratch by the factory.", labels,
@@ -789,7 +845,21 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 			}
 		}
 	}
+	// A recording first run publishes its working-set log only if the
+	// invocation completes: Seal on success, abandon on failure so a
+	// later first run can re-record a full fault order.
+	finishRecording := func(ok bool) {
+		if st.Prefetch == nil || !st.Prefetch.Recording || fn.Img == nil || fn.Img.WSLog == nil {
+			return
+		}
+		if ok {
+			fn.Img.WSLog.Seal()
+		} else {
+			fn.Img.WSLog.AbortRecording()
+		}
+	}
 	if pl.crashed {
+		finishRecording(false)
 		pl.abortCrashed(&res, traceID, name, tArrive, in)
 		return
 	}
@@ -797,6 +867,7 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 	if pl.cfg.PromoteHotAfter > 0 && in.Uses >= pl.cfg.PromoteHotAfter {
 		promoted, err := pl.rt.PromoteWorkingSet(in)
 		if err != nil {
+			finishRecording(false)
 			res.Err = err
 			pl.failInvocation(traceID, name, tArrive, p.Now(), err)
 			pl.release(p, in)
@@ -820,6 +891,7 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		pl.metrics.Retries.IncBy(int64(es.Retries))
 	}
 	if err != nil {
+		finishRecording(false)
 		res.Err = err
 		if res.FaultTrace == "" {
 			res.FaultTrace = faultTraceOf(err)
@@ -829,6 +901,7 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		return
 	}
 	if pl.crashed {
+		finishRecording(false)
 		pl.abortCrashed(&res, traceID, name, tArrive, in)
 		return
 	}
@@ -837,6 +910,30 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 	res.Outcome = OutcomeSuccess
 	if fellBack {
 		res.Outcome = OutcomeFallback
+	}
+	res.Startup = st.Total()
+	res.FetchLat = es.FetchLat
+	res.PrefetchWait = es.PrefetchWait
+	finishRecording(true)
+	if st.Prefetch != nil {
+		if st.Prefetch.Recording {
+			pl.metrics.PrefetchRecordings.Inc()
+		} else if st.Prefetch.Batches > 0 || st.Prefetch.PromotedPages > 0 {
+			pl.metrics.PrefetchLaunches.Inc()
+			pl.metrics.PrefetchBatches.IncBy(int64(st.Prefetch.Batches))
+			pl.metrics.PrefetchPages.IncBy(int64(st.Prefetch.Pages))
+			pl.metrics.PromotedPages.IncBy(int64(st.Prefetch.PromotedPages))
+			if st.Prefetch.Batches > 0 {
+				pl.metrics.PrefetchBatchSize.Add(float64(st.Prefetch.Pages) / float64(st.Prefetch.Batches))
+			}
+		}
+	}
+	if es.PrefetchHits > 0 {
+		pl.metrics.PrefetchHits.IncBy(int64(es.PrefetchHits))
+	}
+	if pl.prefetcher != nil && es.FetchedPages > 0 {
+		// Demand fetches the replay did not cover (or did not win).
+		pl.metrics.PrefetchMisses.IncBy(int64(es.FetchedPages))
 	}
 	if t0 >= pl.cfg.Warmup {
 		pl.metrics.Record(name, st, es, tEnd-t0)
@@ -922,6 +1019,36 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 			if copySp != nil {
 				pl.emitPoolFetch(copySp, name, st.RestorePool, "restore", seq)
 			}
+		}
+		if st.Prefetch != nil && !st.Prefetch.Recording && st.Prefetch.Batches > 0 {
+			// The working-set replay races the invocation on its own
+			// trace — [tUp, tUp+Latency] overlaps exec instead of
+			// extending the critical path — cross-linked with the restore
+			// span that launched it.
+			pf := obs.NewSpan("prefetch/"+name, tUp, tUp+st.Prefetch.Latency)
+			pf.SetAttr("function", name).SetAttr("node", pl.nodeName).
+				SetAttr("pool", st.Prefetch.Pool).
+				SetAttr("pages", strconv.Itoa(st.Prefetch.Pages)).
+				SetAttr("batches", strconv.Itoa(st.Prefetch.Batches))
+			if st.Prefetch.PromotedPages > 0 {
+				pf.SetAttr("promoted_pages", strconv.Itoa(st.Prefetch.PromotedPages))
+			}
+			if st.Prefetch.Err != nil {
+				pf.Fail(st.Prefetch.Err)
+			}
+			pfTid := obs.TraceIDFor(pl.nodeName, "prefetch", name, strconv.FormatInt(seq, 10))
+			pf.AssignIDs(pfTid)
+			var restoreSp *obs.Span
+			root.Walk(func(_ int, sp *obs.Span) {
+				if restoreSp == nil && sp.Name == "restore" {
+					restoreSp = sp
+				}
+			})
+			if restoreSp != nil {
+				pf.AddLink(obs.Link{TraceID: root.TraceID, SpanID: restoreSp.SpanID, Type: "launched-by"})
+				restoreSp.AddLink(obs.Link{TraceID: pfTid, SpanID: pf.SpanID, Type: "prefetch"})
+			}
+			pl.tracer.Record(pf)
 		}
 		pl.tracer.Record(root)
 	}

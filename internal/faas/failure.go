@@ -38,6 +38,15 @@ type InvocationResult struct {
 	Err        error
 	Retries    int
 	FaultTrace string
+	// Latency breakdown, set on successful (and fallback) outcomes:
+	// Startup is the start-path total, FetchLat the demand remote-fetch
+	// latency execution paid, PrefetchWait the time execution parked on
+	// in-flight prefetch batches. Startup+FetchLat+PrefetchWait is the
+	// invocation's effective restore cost — what working-set prefetching
+	// attacks.
+	Startup      time.Duration
+	FetchLat     time.Duration
+	PrefetchWait time.Duration
 }
 
 // ErrNodeDown reports an invocation aborted by its node crashing.

@@ -38,6 +38,18 @@ type Metrics struct {
 	Fallbacks     sim.Counter // local cold starts taken because the pool was unavailable
 	Retries       sim.Counter // fetch attempts replayed after injected faults
 	CrashAborts   sim.Counter // invocations aborted by a node crash (re-dispatchable)
+
+	// Working-set prefetching (Config.Prefetch). Hits are demand
+	// accesses a batch had covered; Misses are demand fetches the replay
+	// did not cover in time.
+	PrefetchRecordings sim.Counter   // first runs that recorded a working-set log
+	PrefetchLaunches   sim.Counter   // restores that replayed (or promoted) a sealed log
+	PrefetchBatches    sim.Counter   // batched fetches issued by replays
+	PrefetchPages      sim.Counter   // pages delivered by batched fetches
+	PrefetchHits       sim.Counter   // demand accesses served by an in-flight/landed batch
+	PrefetchMisses     sim.Counter   // demand fetches with prefetch active
+	PromotedPages      sim.Counter   // pages redirected at the promotion cache
+	PrefetchBatchSize  sim.Histogram // pages per batch, one sample per replaying restore
 }
 
 // NewMetrics returns empty metrics.
@@ -173,6 +185,13 @@ func (m *Metrics) RegisterLabeled(reg *obs.Registry, labels map[string]string) {
 		{"trenv_fallbacks_total", "Local cold starts taken because the restore pool was unavailable.", &m.Fallbacks},
 		{"trenv_retries_total", "Fetch attempts replayed after injected faults.", &m.Retries},
 		{"trenv_crash_aborts_total", "Invocations aborted by a node crash (re-dispatchable, not errors).", &m.CrashAborts},
+		{"trenv_prefetch_recordings_total", "First runs that recorded a working-set log.", &m.PrefetchRecordings},
+		{"trenv_prefetch_launches_total", "Restores that replayed (or promoted) a sealed working-set log.", &m.PrefetchLaunches},
+		{"trenv_prefetch_batches_total", "Batched fetches issued by working-set replays.", &m.PrefetchBatches},
+		{"trenv_prefetch_pages_total", "Pages delivered by batched prefetch fetches.", &m.PrefetchPages},
+		{"trenv_prefetch_hits_total", "Demand accesses served by an in-flight or landed prefetch batch.", &m.PrefetchHits},
+		{"trenv_prefetch_misses_total", "Demand fetches issued while prefetch was active.", &m.PrefetchMisses},
+		{"trenv_promoted_pages_total", "Pages redirected at the hot-run promotion cache.", &m.PromotedPages},
 	}
 	for _, c := range counters {
 		c := c
@@ -200,6 +219,11 @@ func (m *Metrics) RegisterLabeled(reg *obs.Registry, labels map[string]string) {
 		}
 		return out
 	}
+	reg.HistogramFunc("trenv_prefetch_batch_pages",
+		"Pages per prefetch batch (one sample per replaying restore).",
+		func() []obs.LabeledHistogram {
+			return []obs.LabeledHistogram{{Labels: labels, Hist: &m.PrefetchBatchSize}}
+		})
 	for _, h := range hists {
 		h := h
 		reg.HistogramFunc(h.name, h.help, func() []obs.LabeledHistogram {
@@ -244,6 +268,10 @@ type Export struct {
 	Fallbacks     int64               `json:"fallbacks"`
 	Retries       int64               `json:"retries"`
 	CrashAborts   int64               `json:"crash_aborts"`
+	PrefetchHits  int64               `json:"prefetch_hits,omitempty"`
+	PrefetchMiss  int64               `json:"prefetch_misses,omitempty"`
+	PrefetchPages int64               `json:"prefetch_pages,omitempty"`
+	PromotedPages int64               `json:"promoted_pages,omitempty"`
 	E2EP50Ms      float64             `json:"e2e_p50_ms"`
 	E2EP99Ms      float64             `json:"e2e_p99_ms"`
 	StartupP99Ms  float64             `json:"startup_p99_ms"`
@@ -266,6 +294,10 @@ func (m *Metrics) Export() Export {
 		Fallbacks:     m.Fallbacks.Value(),
 		Retries:       m.Retries.Value(),
 		CrashAborts:   m.CrashAborts.Value(),
+		PrefetchHits:  m.PrefetchHits.Value(),
+		PrefetchMiss:  m.PrefetchMisses.Value(),
+		PrefetchPages: m.PrefetchPages.Value(),
+		PromotedPages: m.PromotedPages.Value(),
 		E2EP50Ms:      m.All.E2E.Percentile(50),
 		E2EP99Ms:      m.All.E2E.Percentile(99),
 		StartupP99Ms:  m.All.Startup.Percentile(99),

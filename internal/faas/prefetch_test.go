@@ -1,0 +1,164 @@
+package faas
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// prefetchPlatform builds a TrEnv-CXL platform with a cold tail on RDMA
+// (so restores demand-fault lazily) and working-set prefetching on.
+func prefetchPlatform(t *testing.T, on bool, promoteAfter int) *Platform {
+	t.Helper()
+	cfg := DefaultConfig(PolicyTrEnvCXL)
+	cfg.HotFraction = 0.4
+	cfg.KeepAlive = 5 * time.Second // force template restores between rounds
+	cfg.Prefetch = on
+	cfg.PromoteThreshold = promoteAfter
+	pl := New(cfg)
+	for _, p := range workload.Table4() {
+		if err := pl.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pl
+}
+
+// invokeRounds spaces n invocations of fn farther apart than the
+// keep-alive window, so each one restores from the template.
+func invokeRounds(pl *Platform, fn string, n int) {
+	for i := 0; i < n; i++ {
+		pl.Invoke(time.Duration(i)*30*time.Second, fn)
+	}
+	pl.Engine().Run()
+}
+
+// TestWorkingSetRecorderDeterminism is the seed-stability contract: two
+// identical platforms record byte-identical working-set logs for the
+// same function's first run.
+func TestWorkingSetRecorderDeterminism(t *testing.T) {
+	run := func() *Platform {
+		pl := prefetchPlatform(t, true, 0)
+		invokeRounds(pl, "DH", 1)
+		return pl
+	}
+	a, b := run(), run()
+	la := a.Store().Image("DH").WSLog
+	lb := b.Store().Image("DH").WSLog
+	if la == nil || !la.Sealed() {
+		t.Fatalf("log not sealed after first run: %+v", la)
+	}
+	if len(la.Entries()) == 0 {
+		t.Fatal("first run recorded nothing (no lazy tail?)")
+	}
+	if !reflect.DeepEqual(la.Entries(), lb.Entries()) {
+		t.Fatalf("same-seed logs differ:\n%+v\n%+v", la.Entries(), lb.Entries())
+	}
+	if a.Metrics().PrefetchRecordings.Value() != 1 {
+		t.Fatalf("recordings = %d, want 1", a.Metrics().PrefetchRecordings.Value())
+	}
+}
+
+// TestPrefetchReplayAbsorbsDemandFaults: with prefetch on, restores
+// after the first replay the log as batches, so exec demand fetches
+// drop and prefetch hits appear; the run stays strictly no slower.
+func TestPrefetchReplayAbsorbsDemandFaults(t *testing.T) {
+	on := prefetchPlatform(t, true, 0)
+	invokeRounds(on, "DH", 4)
+	off := prefetchPlatform(t, false, 0)
+	invokeRounds(off, "DH", 4)
+
+	if on.Metrics().Errors.Value()+off.Metrics().Errors.Value() != 0 {
+		t.Fatalf("errors: on=%d off=%d", on.Metrics().Errors.Value(), off.Metrics().Errors.Value())
+	}
+	if v := on.Metrics().PrefetchLaunches.Value(); v != 3 { // rounds 2-4 replay
+		t.Fatalf("launches = %d, want 3", v)
+	}
+	if on.Metrics().PrefetchBatches.Value() == 0 || on.Metrics().PrefetchHits.Value() == 0 {
+		t.Fatalf("replay idle: batches=%d hits=%d",
+			on.Metrics().PrefetchBatches.Value(), on.Metrics().PrefetchHits.Value())
+	}
+	onDemand := on.FaultStats().FetchedPages
+	offDemand := off.FaultStats().FetchedPages
+	if onDemand >= offDemand {
+		t.Fatalf("prefetch did not absorb demand faults: %d >= %d", onDemand, offDemand)
+	}
+	if got := on.FaultStats().PrefetchedPages; got == 0 {
+		t.Fatal("no pages prefetched")
+	}
+	// Prefetched pages were delivered off the critical path: e2e must not
+	// regress versus demand faulting.
+	onP99 := on.Metrics().All.E2E.Percentile(99)
+	offP99 := off.Metrics().All.E2E.Percentile(99)
+	if onP99 > offP99 {
+		t.Fatalf("prefetch slowed e2e p99: %v > %v", onP99, offP99)
+	}
+}
+
+// TestHotRunPromotion: with a promotion threshold, the replayed run
+// moves into the direct-access cache once its replay count crosses it;
+// later restores redirect instead of batching.
+func TestHotRunPromotion(t *testing.T) {
+	pl := prefetchPlatform(t, true, 2)
+	invokeRounds(pl, "DH", 5)
+	if pl.Metrics().Errors.Value() != 0 {
+		t.Fatalf("errors = %d", pl.Metrics().Errors.Value())
+	}
+	if pl.PromotionCache() == nil {
+		t.Fatal("promotion cache not wired")
+	}
+	if pl.Metrics().PromotedPages.Value() == 0 {
+		t.Fatal("no pages promoted after threshold crossings")
+	}
+	if pl.PromotionCache().Promotions() == 0 {
+		t.Fatal("cache recorded no promotions")
+	}
+	if pl.PromotionCache().Pool().Tracker().Used() == 0 {
+		t.Fatal("promotion cache holds no bytes")
+	}
+}
+
+// TestPrefetchOffLeavesNoTrace: with the flag off (the default), none
+// of the prefetch machinery is wired or counted.
+func TestPrefetchOffLeavesNoTrace(t *testing.T) {
+	pl := prefetchPlatform(t, false, 2)
+	invokeRounds(pl, "DH", 3)
+	if pl.Prefetcher() != nil || pl.PromotionCache() != nil {
+		t.Fatal("prefetcher wired with Prefetch=false")
+	}
+	m := pl.Metrics()
+	if m.PrefetchRecordings.Value()+m.PrefetchLaunches.Value()+m.PrefetchHits.Value() != 0 {
+		t.Fatal("prefetch counters moved with prefetch off")
+	}
+	if img := pl.Store().Image("DH"); img.WSLog.Sealed() || len(img.WSLog.Entries()) != 0 {
+		t.Fatal("working-set log written with prefetch off")
+	}
+}
+
+// TestPrefetchDeterministicExport: two same-seed runs with prefetch and
+// promotion enabled export byte-identical Prometheus text — the
+// prefetcher introduces no hidden nondeterminism.
+func TestPrefetchDeterministicExport(t *testing.T) {
+	render := func() string {
+		pl := prefetchPlatform(t, true, 2)
+		reg := obs.NewRegistry()
+		pl.RegisterMetrics(reg)
+		pl.RunTrace(smallTrace(7))
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("same-seed prefetch runs exported different metrics")
+	}
+	if !bytes.Contains([]byte(a), []byte("trenv_prefetch_batches_total")) {
+		t.Fatal("prefetch series missing from export")
+	}
+}

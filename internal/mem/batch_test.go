@@ -1,0 +1,112 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBatchAmortizesRoundTrips: one 64-page batch must be far cheaper
+// than 64 single-page demand fetches (the doorbell amortization), while
+// still costing more than one page alone (streaming is not free).
+func TestBatchAmortizesRoundTrips(t *testing.T) {
+	lat := DefaultLatencyModel()
+	batchPool := NewPool(RDMA, 0, lat)
+	demandPool := NewPool(RDMA, 0, lat)
+	rng := rand.New(rand.NewSource(1))
+	batch := batchPool.BatchFetchLatency(rng, 64)
+	var demand time.Duration
+	for i := 0; i < 64; i++ {
+		demand += demandPool.FetchLatency(rng, 1)
+	}
+	if batch >= demand/4 {
+		t.Fatalf("batch %v not well under 64 demand fetches %v", batch, demand)
+	}
+	one := NewPool(RDMA, 0, lat).BatchFetchLatency(rng, 1)
+	if batch <= one {
+		t.Fatalf("64-page batch %v not costlier than 1-page %v", batch, one)
+	}
+	// Exactly one RTT plus streaming under no contention.
+	want := lat.RDMAFetch + 63*lat.BatchPageStream
+	uncontended := NewPool(RDMA, 0, lat).BatchFetchLatency(rand.New(rand.NewSource(2)), 64)
+	if uncontended != want {
+		t.Fatalf("uncontended batch = %v, want RTT+stream = %v", uncontended, want)
+	}
+}
+
+// TestBatchCountersAndAccounting: batches increment both the shared
+// fetch counters and the batch-specific ones.
+func TestBatchCountersAndAccounting(t *testing.T) {
+	p := NewPool(RDMA, 0, DefaultLatencyModel())
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := p.FetchBatch(rng, 10); err != nil {
+		t.Fatal(err)
+	}
+	p.FetchLatency(rng, 3) // demand fetch: no batch counters
+	if p.Fetches() != 2 || p.PagesFetched() != 13 {
+		t.Fatalf("fetches=%d pages=%d, want 2/13", p.Fetches(), p.PagesFetched())
+	}
+	if p.BatchFetches() != 1 || p.BatchPages() != 10 {
+		t.Fatalf("batchFetches=%d batchPages=%d, want 1/10", p.BatchFetches(), p.BatchPages())
+	}
+}
+
+// TestFetchBatchMatchesLatencyWithoutAgent: with no fault agent,
+// FetchBatch returns exactly BatchFetchLatency's price and consumes the
+// same rng draws — the bit-identity contract.
+func TestFetchBatchMatchesLatencyWithoutAgent(t *testing.T) {
+	lat := DefaultLatencyModel()
+	a, b := NewPool(RDMA, 0, lat), NewPool(RDMA, 0, lat)
+	ra, rb := rand.New(rand.NewSource(9)), rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		a.BeginFetch()
+		b.BeginFetch()
+	}
+	for i := 0; i < 20; i++ {
+		d, out, err := a.FetchBatch(ra, 32)
+		if err != nil || out.Retries != 0 {
+			t.Fatalf("clean batch fetch: %v %+v", err, out)
+		}
+		if want := b.BatchFetchLatency(rb, 32); d != want {
+			t.Fatalf("iter %d: FetchBatch %v != BatchFetchLatency %v", i, d, want)
+		}
+	}
+	if ra.Int63() != rb.Int63() {
+		t.Fatal("rng streams diverged")
+	}
+}
+
+// TestPromotionCacheLRU: capacity-bounded insertion evicts the least
+// recently used run; lookups refresh recency; oversized runs are
+// rejected outright.
+func TestPromotionCacheLRU(t *testing.T) {
+	c := NewPromotionCache(10*PageSize, DefaultLatencyModel())
+	if !c.Promote("a", 4) || !c.Promote("b", 4) {
+		t.Fatal("initial promotions refused")
+	}
+	if !c.Lookup("a") { // refresh a; b is now LRU
+		t.Fatal("lookup miss on resident run")
+	}
+	if !c.Promote("c", 4) { // needs eviction of b
+		t.Fatal("promotion with eviction refused")
+	}
+	if c.Contains("b") || !c.Contains("a") || !c.Contains("c") {
+		t.Fatalf("LRU evicted wrong run: a=%v b=%v c=%v", c.Contains("a"), c.Contains("b"), c.Contains("c"))
+	}
+	if c.Evictions() != 1 || c.Promotions() != 3 || c.Hits() != 1 {
+		t.Fatalf("counters: evict=%d promo=%d hits=%d", c.Evictions(), c.Promotions(), c.Hits())
+	}
+	if used := c.Pool().Tracker().Used(); used != 8*PageSize {
+		t.Fatalf("cache bytes = %d, want 8 pages", used)
+	}
+	if c.Promote("huge", 11) {
+		t.Fatal("run larger than the whole cache accepted")
+	}
+	if c.Rejected() != 1 {
+		t.Fatalf("rejected = %d", c.Rejected())
+	}
+	// Re-promoting a resident run is a touch, not a second allocation.
+	if !c.Promote("a", 4) || c.Pool().Tracker().Used() != 8*PageSize {
+		t.Fatal("resident re-promotion re-allocated")
+	}
+}

@@ -152,11 +152,18 @@ func (p *Pool) FetchExhausted() int64 { return p.exhausted }
 // exactly the same rng draws as FetchLatency, so fault-free runs are
 // bit-identical to pre-fault behavior.
 func (p *Pool) Fetch(rng *rand.Rand, pages int) (time.Duration, FetchOutcome, error) {
+	return p.fetchWith(rng, pages, p.FetchLatency)
+}
+
+// fetchWith runs the shared attempt/retry loop around one pricing
+// function (FetchLatency for demand fetches, BatchFetchLatency for
+// doorbell batches), so both paths see identical fault semantics.
+func (p *Pool) fetchWith(rng *rand.Rand, pages int, price func(*rand.Rand, int) time.Duration) (time.Duration, FetchOutcome, error) {
 	if pages <= 0 {
 		return 0, FetchOutcome{Attempts: 1}, nil
 	}
 	if p.faults == nil || p.clock == nil {
-		return p.FetchLatency(rng, pages), FetchOutcome{Attempts: 1}, nil
+		return price(rng, pages), FetchOutcome{Attempts: 1}, nil
 	}
 	rp := p.RetryPolicyInEffect()
 	var elapsed time.Duration
@@ -169,7 +176,7 @@ func (p *Pool) Fetch(rng *rand.Rand, pages int) (time.Duration, FetchOutcome, er
 			out.FaultTrace = v.FaultTrace
 		}
 		if v.Err == nil {
-			d := p.FetchLatency(rng, pages)
+			d := price(rng, pages)
 			if v.LatencyScale > 1 {
 				d = time.Duration(float64(d) * v.LatencyScale)
 			}

@@ -115,6 +115,12 @@ type LatencyModel struct {
 	// CowPageCopy is the raw in-kernel copy of one 4 KB page on a CoW
 	// fault (no image parsing involved).
 	CowPageCopy time.Duration
+	// BatchPageStream is the per-additional-page streaming cost inside a
+	// doorbell-style batched fetch: the first page pays the kind's full
+	// round trip (contention and cliff included), each further page only
+	// drains the link behind it. ~500 ns is a 4 KB page at ~65 Gb/s of
+	// effective RDMA READ goodput.
+	BatchPageStream time.Duration
 }
 
 // DefaultLatencyModel returns the constants used across the evaluation.
@@ -133,6 +139,7 @@ func DefaultLatencyModel() LatencyModel {
 		MinorFaultOverhead:      1200 * time.Nanosecond,
 		CopyBandwidth:           1 << 30, // 1 GiB/s
 		CowPageCopy:             800 * time.Nanosecond,
+		BatchPageStream:         500 * time.Nanosecond,
 	}
 }
 
@@ -238,6 +245,8 @@ type Pool struct {
 	cliffs       int64
 	pagesFetched int64
 	pagesDirect  int64
+	batchFetches int64 // doorbell-style batched fetches (prefetch path)
+	batchPages   int64 // pages moved by batched fetches
 
 	// Optional RDMA server backing (AttachRDMAServer): fetches route
 	// through a queue pair so NIC-level contention is shared with every
@@ -296,6 +305,14 @@ func (p *Pool) PagesFetched() int64 { return p.pagesFetched }
 // PagesDirect returns the total pages touched via direct byte-
 // addressable loads (CXL), which move no data to the node.
 func (p *Pool) PagesDirect() int64 { return p.pagesDirect }
+
+// BatchFetches returns doorbell-style batched fetches served (the
+// prefetch path; a subset of Fetches).
+func (p *Pool) BatchFetches() int64 { return p.batchFetches }
+
+// BatchPages returns pages moved by batched fetches (a subset of
+// PagesFetched).
+func (p *Pool) BatchPages() int64 { return p.batchPages }
 
 // BeginFetch marks a fetch batch in flight (contention accounting).
 func (p *Pool) BeginFetch() { p.outstanding++ }

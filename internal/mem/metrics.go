@@ -38,4 +38,27 @@ func (p *Pool) RegisterMetricsLabeled(reg *obs.Registry, extra map[string]string
 		func() int64 { return p.faultFails })
 	reg.CounterFunc("trenv_pool_fetch_exhausted_total", "Fetches that gave up after exhausting the retry budget.", labels,
 		func() int64 { return p.exhausted })
+	reg.CounterFunc("trenv_pool_batch_fetches_total", "Doorbell-style batched fetches served (prefetch path).", labels,
+		func() int64 { return p.batchFetches })
+	reg.CounterFunc("trenv_pool_batch_pages_total", "Pages moved by batched fetches.", labels,
+		func() int64 { return p.batchPages })
+}
+
+// RegisterMetricsLabeled publishes the promotion cache's occupancy and
+// churn into reg with extra labels merged in (node="n3"...).
+func (c *PromotionCache) RegisterMetricsLabeled(reg *obs.Registry, extra map[string]string) {
+	labels := map[string]string{"pool": "promote"}
+	for k, v := range extra {
+		labels[k] = v
+	}
+	reg.GaugeFunc("trenv_promote_cache_bytes", "Bytes of promoted pages resident in the direct-access cache.", labels,
+		func() float64 { return float64(c.pool.Tracker().Used()) })
+	reg.GaugeFunc("trenv_promote_cache_runs", "Promoted page runs resident in the cache.", labels,
+		func() float64 { return float64(c.order.Len()) })
+	reg.CounterFunc("trenv_promote_promotions_total", "Page runs promoted into the direct-access cache.", labels,
+		func() int64 { return c.promotions })
+	reg.CounterFunc("trenv_promote_evictions_total", "Promoted runs evicted (LRU) to make room.", labels,
+		func() int64 { return c.evictions })
+	reg.CounterFunc("trenv_promote_hits_total", "Prefetch lookups served by an already-promoted run.", labels,
+		func() int64 { return c.hits })
 }

@@ -1,0 +1,118 @@
+package mem
+
+import "container/list"
+
+// PromotionCache is a capacity-bounded per-node direct-access cache for
+// rack-hot template pages. Page runs whose cross-invocation fetch count
+// crosses a threshold are promoted here by the prefetcher, turning what
+// would be repeat RDMA demand faults into CXL-cost direct hits: the
+// cache is backed by its own byte-addressable (CXL-kind) pool, so a
+// page table that redirects a run at the cache prices every later
+// access at DirectAccessCost instead of a fetch round trip.
+//
+// Eviction is LRU over promoted runs (a Promote or Lookup touches the
+// run). Bytes are accounted against the backing pool's Tracker; a run
+// larger than the whole cache is rejected rather than thrashing it.
+// Eviction frees capacity for new promotions — address spaces that
+// already mapped an evicted run keep their redirect until released,
+// like deferred TLB invalidation, so accounting is eventual rather
+// than instantaneous.
+type PromotionCache struct {
+	pool    *Pool
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	promotions int64
+	evictions  int64
+	hits       int64
+	rejected   int64
+}
+
+// promoEntry is one promoted run.
+type promoEntry struct {
+	key   string
+	pages int
+}
+
+// NewPromotionCache creates a cache holding at most capacity bytes of
+// promoted pages (0 = unlimited) at the latency model's direct-access
+// cost.
+func NewPromotionCache(capacity int64, lat LatencyModel) *PromotionCache {
+	return &PromotionCache{
+		pool:    NewPool(CXL, capacity, lat),
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Pool returns the cache's backing direct-access pool; page tables
+// redirect promoted runs at it.
+func (c *PromotionCache) Pool() *Pool { return c.pool }
+
+// Promote inserts the run (pages 4 KB pages under key) into the cache,
+// evicting least-recently-used runs until it fits. It returns false —
+// and promotes nothing — when the run alone exceeds the cache's whole
+// capacity. Promoting a resident run just touches it.
+func (c *PromotionCache) Promote(key string, pages int) bool {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	need := int64(pages) * PageSize
+	limit := c.pool.Tracker().Capacity()
+	if limit > 0 && need > limit {
+		c.rejected++
+		return false
+	}
+	for limit > 0 && c.pool.Tracker().Used()+need > limit {
+		c.evictOldest()
+	}
+	c.pool.Tracker().MustAlloc(need)
+	c.entries[key] = c.order.PushFront(&promoEntry{key: key, pages: pages})
+	c.promotions++
+	return true
+}
+
+// Lookup reports whether the run under key is promoted, counting and
+// touching it on a hit.
+func (c *PromotionCache) Lookup(key string) bool {
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return true
+}
+
+// Contains reports residency without touching LRU order or counters.
+func (c *PromotionCache) Contains(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+func (c *PromotionCache) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		panic("mem: promotion cache eviction with no entries")
+	}
+	e := c.order.Remove(el).(*promoEntry)
+	delete(c.entries, e.key)
+	c.pool.Tracker().Free(int64(e.pages) * PageSize)
+	c.evictions++
+}
+
+// Promotions returns runs promoted into the cache.
+func (c *PromotionCache) Promotions() int64 { return c.promotions }
+
+// Evictions returns runs evicted to make room.
+func (c *PromotionCache) Evictions() int64 { return c.evictions }
+
+// Hits returns Lookup hits on resident runs.
+func (c *PromotionCache) Hits() int64 { return c.hits }
+
+// Rejected returns promotion attempts larger than the whole cache.
+func (c *PromotionCache) Rejected() int64 { return c.rejected }
+
+// Runs returns resident promoted runs.
+func (c *PromotionCache) Runs() int { return c.order.Len() }

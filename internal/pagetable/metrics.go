@@ -30,4 +30,13 @@ func RegisterStats(reg *obs.Registry, labels map[string]string, s *Stats) {
 	reg.CounterFunc("trenv_page_fetch_errors_total",
 		"Page accesses failed by an unrecoverable fetch error.", labels,
 		func() int64 { return s.FetchErrors })
+	reg.CounterFunc("trenv_page_prefetched_total",
+		"Pages delivered by working-set prefetch batches.", labels,
+		func() int64 { return s.PrefetchedPages })
+	reg.CounterFunc("trenv_page_prefetch_hits_total",
+		"Accessed pages a prefetch batch had covered (demand fetches avoided).", labels,
+		func() int64 { return s.PrefetchHits })
+	reg.CounterFunc("trenv_page_prefetch_wait_ns_total",
+		"Nanoseconds demand accesses spent waiting on in-flight prefetch batches.", labels,
+		func() int64 { return s.PrefetchWaitNs })
 }

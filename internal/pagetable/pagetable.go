@@ -107,6 +107,15 @@ type VMA struct {
 	// incremental checkpoint dumps.
 	dirty      []bool
 	dirtyCount int
+
+	// inflight holds the virtual-time deadline of the prefetch batch
+	// delivering each page (see MarkInFlight): a demand access before
+	// the deadline waits for the batch instead of fetching.
+	inflight map[int]time.Duration
+	// redirect overrides the backing pool per page for promoted runs
+	// (see PromoteRange): the page reads from the node's direct-access
+	// promotion cache, not its original segment.
+	redirect map[int]*mem.Pool
 }
 
 // DirtyPages returns pages written since the last MarkClean.
@@ -140,8 +149,14 @@ func (v *VMA) PageState(i int) State { return v.states[i] }
 // Backings returns the VMA's remote backing segments.
 func (v *VMA) Backings() []Backing { return v.segs }
 
-// PoolAt returns the pool backing page i, or nil.
+// PoolAt returns the pool backing page i, or nil. A promoted page
+// (PromoteRange) reports the promotion cache it was redirected to.
 func (v *VMA) PoolAt(i int) *mem.Pool {
+	if v.redirect != nil {
+		if p := v.redirect[i]; p != nil {
+			return p
+		}
+	}
 	for _, s := range v.segs {
 		if i >= s.First && i < s.First+s.Pages {
 			return s.Pool
@@ -178,6 +193,10 @@ type Stats struct {
 	LocalAllocated int64 // bytes of node DRAM allocated
 	Retries        int64 // fetch attempts retried after injected faults
 	FetchErrors    int64 // accesses failed by an unrecoverable fetch error
+
+	PrefetchedPages int64 // pages delivered by prefetch batches (MarkInFlight)
+	PrefetchHits    int64 // accessed pages a prefetch batch had covered
+	PrefetchWaitNs  int64 // ns spent waiting on in-flight prefetch batches
 }
 
 // AccessResult describes one aggregated access batch.
@@ -199,6 +218,11 @@ type AccessResult struct {
 	// them ("" = clean), so exec spans can link back to the cause.
 	Retries    int
 	FaultTrace string
+	// PrefetchHits counts accessed pages that a prefetch batch had
+	// already delivered or was in flight for — demand fetches avoided.
+	// PrefetchWait is the time spent parked on in-flight batches.
+	PrefetchHits int
+	PrefetchWait time.Duration
 }
 
 // AddressSpace is a process's memory map.
@@ -209,6 +233,12 @@ type AddressSpace struct {
 	stats Stats
 	sink  *Stats // optional shared aggregate mirroring every stats update
 	rss   int64  // bytes of local DRAM held
+
+	// clock supplies virtual time for in-flight prefetch waits (nil
+	// when no prefetcher is attached); wslog records first-run fault
+	// order for working-set replay.
+	clock func() time.Duration
+	wslog *WorkingSetLog
 }
 
 // NewAddressSpace creates an empty address space charging local pages to
@@ -427,6 +457,8 @@ func addResults(a, b AccessResult) AccessResult {
 	if a.FaultTrace == "" {
 		a.FaultTrace = b.FaultTrace
 	}
+	a.PrefetchHits += b.PrefetchHits
+	a.PrefetchWait += b.PrefetchWait
 	return a
 }
 
@@ -451,6 +483,11 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 	direct := make(map[*mem.Pool]int)
 	segIdx := 0
 	poolFor := func(i int) *mem.Pool {
+		if v.redirect != nil {
+			if p := v.redirect[i]; p != nil {
+				return p
+			}
+		}
 		for segIdx < len(v.segs) && i >= v.segs[segIdx].First+v.segs[segIdx].Pages {
 			segIdx++
 		}
@@ -459,13 +496,37 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 		}
 		return nil
 	}
+	// Working-set recording: the first run's fetches are logged as
+	// contiguous (pool, run) stretches in fault order, the replay unit
+	// of the prefetcher's batched fetches.
+	record := as.wslog != nil && as.wslog.active()
+	var runPool *mem.Pool
+	var runFirst, runLen int
+	flushRun := func() {
+		if runLen > 0 {
+			as.wslog.record(v.Name, runFirst, runLen, runPool.Kind().String())
+			runLen = 0
+		}
+	}
+	// In-flight prefetch hits: pages whose batch is still on the wire
+	// park the access until the latest such batch lands.
+	var inflightHits int
+	var inflightReady time.Duration
 	for i := first; i < first+count; i++ {
 		if write {
 			v.markDirty(i)
 		}
 		switch v.states[i] {
 		case Local:
-			// free
+			if v.inflight != nil {
+				if dl, ok := v.inflight[i]; ok {
+					delete(v.inflight, i)
+					inflightHits++
+					if dl > inflightReady {
+						inflightReady = dl
+					}
+				}
+			}
 		case Unmapped:
 			toZero++
 			v.setState(i, Local)
@@ -478,11 +539,38 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 				direct[p]++
 			}
 		case RemoteLazy:
-			fetch[poolFor(i)]++
+			p := poolFor(i)
+			fetch[p]++
+			if record {
+				if runLen > 0 && p == runPool && i == runFirst+runLen {
+					runLen++
+				} else {
+					flushRun()
+					runPool, runFirst, runLen = p, i, 1
+				}
+			}
 			v.setState(i, Local)
 		}
 	}
+	if record {
+		flushRun()
+	}
 	var lat time.Duration
+	if inflightHits > 0 {
+		// A demand fault on an in-flight page takes a minor fault (the
+		// PTE is being populated by the batch) and waits for the batch
+		// deadline instead of issuing its own fetch; overlapping waits
+		// collapse to the latest deadline.
+		res.PrefetchHits = inflightHits
+		res.MinorFaults += inflightHits
+		lat += time.Duration(inflightHits) * as.lat.MinorFaultOverhead
+		if as.clock != nil {
+			if now := as.clock(); inflightReady > now {
+				res.PrefetchWait = inflightReady - now
+				lat += res.PrefetchWait
+			}
+		}
+	}
 	if toZero > 0 {
 		res.MinorFaults += toZero
 		lat += time.Duration(toZero) * as.lat.MinorFaultOverhead
@@ -565,6 +653,8 @@ func (s *Stats) addAccess(res AccessResult) {
 	s.FetchedPages += int64(res.FetchedPages)
 	s.DirectAccess += int64(res.DirectPages)
 	s.Retries += int64(res.Retries)
+	s.PrefetchHits += int64(res.PrefetchHits)
+	s.PrefetchWaitNs += int64(res.PrefetchWait)
 }
 
 // Grow extends v by pages of demand-zero memory (e.g. heap growth via

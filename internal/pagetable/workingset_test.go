@@ -1,0 +1,193 @@
+package pagetable
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// TestBatchWaitInsteadOfDuplicateFetch is the in-flight contract: a
+// demand access landing on pages a prefetch batch covers parks on the
+// batch deadline (charging the residual wait plus minor-fault wakes)
+// and issues no fetch of its own.
+func TestBatchWaitInsteadOfDuplicateFetch(t *testing.T) {
+	as, _ := newAS(t, 0)
+	pool := rdmaPool()
+	v, _ := as.AddVMA("img", 0, 100, Read|Write, Anon, pool, 0, RemoteLazy)
+	as.SetClock(func() time.Duration { return 10 * time.Microsecond })
+	marked, err := as.MarkInFlight(v, 0, 40, 50*time.Microsecond)
+	if err != nil || marked != 40 {
+		t.Fatalf("MarkInFlight = %d, %v", marked, err)
+	}
+	fetchesBefore := pool.Fetches()
+	rng := rand.New(rand.NewSource(1))
+	res, err := as.Access(rng, v, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefetchHits != 40 {
+		t.Fatalf("prefetch hits = %d, want 40", res.PrefetchHits)
+	}
+	if res.FetchedPages != 0 || pool.Fetches() != fetchesBefore {
+		t.Fatalf("demand access duplicated the fetch: pages=%d pool fetches %d -> %d",
+			res.FetchedPages, fetchesBefore, pool.Fetches())
+	}
+	if res.MajorFaults != 0 {
+		t.Fatalf("major faults = %d on in-flight pages", res.MajorFaults)
+	}
+	// Residual wait: batch lands at 50us, access at 10us -> 40us parked,
+	// charged once for the whole overlapping range.
+	if res.PrefetchWait != 40*time.Microsecond {
+		t.Fatalf("prefetch wait = %v, want 40us", res.PrefetchWait)
+	}
+	want := res.PrefetchWait + 40*as.lat.MinorFaultOverhead
+	if res.Latency != want {
+		t.Fatalf("latency = %v, want wait+wakes = %v", res.Latency, want)
+	}
+	// The deadline is consumed: a second pass is an ordinary resident
+	// access with no wait.
+	res2, _ := as.Access(rng, v, 40, 0)
+	if res2.PrefetchHits != 0 || res2.PrefetchWait != 0 || res2.Latency != 0 {
+		t.Fatalf("second access not free: %+v", res2)
+	}
+}
+
+// TestBatchWaitAfterDeadlineIsFree checks the already-landed case: when
+// the clock has passed the batch deadline only the minor-fault wake is
+// charged.
+func TestBatchWaitAfterDeadlineIsFree(t *testing.T) {
+	as, _ := newAS(t, 0)
+	pool := rdmaPool()
+	v, _ := as.AddVMA("img", 0, 10, Read|Write, Anon, pool, 0, RemoteLazy)
+	as.SetClock(func() time.Duration { return time.Millisecond })
+	if _, err := as.MarkInFlight(v, 0, 10, 20*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	res, err := as.Access(rand.New(rand.NewSource(1)), v, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefetchWait != 0 {
+		t.Fatalf("wait = %v for a landed batch", res.PrefetchWait)
+	}
+	if res.Latency != 10*as.lat.MinorFaultOverhead {
+		t.Fatalf("latency = %v, want pure wakes", res.Latency)
+	}
+}
+
+// TestMarkInFlightSkipsResidentAndAccounts: only RemoteLazy pages are
+// marked, their DRAM is claimed up front, and the prefetched-page stats
+// flow to the sink.
+func TestMarkInFlightSkipsResidentAndAccounts(t *testing.T) {
+	as, tr := newAS(t, 0)
+	v, _ := as.AddVMA("img", 0, 20, Read|Write, Anon, rdmaPool(), 0, RemoteLazy)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := as.Access(rng, v, 5, 0); err != nil { // pages 0-4 now local
+		t.Fatal(err)
+	}
+	var sink Stats
+	as.SetStatsSink(&sink)
+	marked, err := as.MarkInFlight(v, 0, 20, time.Microsecond)
+	if err != nil || marked != 15 {
+		t.Fatalf("marked = %d, %v; want 15 (5 already resident)", marked, err)
+	}
+	if tr.Used() != 20*mem.PageSize {
+		t.Fatalf("tracker used %d, want all 20 pages", tr.Used())
+	}
+	if as.Stats().PrefetchedPages != 15 || sink.PrefetchedPages != 15 {
+		t.Fatalf("prefetched stats = %d/%d, want 15", as.Stats().PrefetchedPages, sink.PrefetchedPages)
+	}
+}
+
+// TestPromoteRangeRedirectsAtCache: promoted pages become RemoteDirect
+// against the cache pool while the VMA's own backing stays put.
+func TestPromoteRangeRedirectsAtCache(t *testing.T) {
+	as, _ := newAS(t, 0)
+	pool := rdmaPool()
+	v, _ := as.AddVMA("img", 0, 10, Read|Write, Anon, pool, 0, RemoteLazy)
+	cache := mem.NewPromotionCache(1<<20, mem.DefaultLatencyModel())
+	if _, err := as.PromoteRange(v, 0, 10, pool); err == nil {
+		t.Fatal("PromoteRange accepted a non-byte-addressable cache")
+	}
+	n, err := as.PromoteRange(v, 0, 10, cache.Pool())
+	if err != nil || n != 10 {
+		t.Fatalf("promoted = %d, %v", n, err)
+	}
+	if v.PageState(0) != RemoteDirect || v.PoolAt(0) != cache.Pool() {
+		t.Fatalf("page 0 state=%v pool=%v, want direct at cache", v.PageState(0), v.PoolAt(0))
+	}
+	res, err := as.Access(rand.New(rand.NewSource(1)), v, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FetchedPages != 0 || res.DirectPages != 10 {
+		t.Fatalf("promoted access fetched=%d direct=%d, want 0/10", res.FetchedPages, res.DirectPages)
+	}
+	if pool.Fetches() != 0 {
+		t.Fatal("promoted access hit the origin pool")
+	}
+}
+
+// TestWorkingSetLogLifecycle: single recorder, merge of adjacent runs,
+// seal immutability, abort reclaim.
+func TestWorkingSetLogLifecycle(t *testing.T) {
+	l := &WorkingSetLog{}
+	if !l.StartRecording() {
+		t.Fatal("first claim refused")
+	}
+	if l.StartRecording() {
+		t.Fatal("second recorder admitted")
+	}
+	l.record("heap", 0, 4, "rdma")
+	l.record("heap", 4, 2, "rdma") // extends -> merged
+	l.record("heap", 8, 1, "rdma") // gap -> new entry
+	if len(l.Entries()) != 2 || l.Entries()[0].Pages != 6 || l.Pages() != 7 {
+		t.Fatalf("entries = %+v", l.Entries())
+	}
+	l.AbortRecording()
+	if l.Sealed() || len(l.Entries()) != 0 {
+		t.Fatalf("abort kept state: sealed=%v entries=%d", l.Sealed(), len(l.Entries()))
+	}
+	if !l.StartRecording() {
+		t.Fatal("reclaim after abort refused")
+	}
+	l.record("heap", 0, 3, "rdma")
+	l.Seal()
+	if !l.Sealed() || l.StartRecording() {
+		t.Fatal("sealed log accepted a recorder")
+	}
+	l.AbortRecording() // no-op once sealed
+	if len(l.Entries()) != 1 {
+		t.Fatal("AbortRecording mutated a sealed log")
+	}
+}
+
+// TestRecorderDeterminism: two identical access sequences against
+// same-seed rngs record byte-identical working-set logs.
+func TestRecorderDeterminism(t *testing.T) {
+	run := func() []WSFetch {
+		as, _ := newAS(t, 0)
+		v, _ := as.AddVMA("img", 0, 200, Read|Write, Anon, rdmaPool(), 0, RemoteLazy)
+		l := &WorkingSetLog{}
+		l.StartRecording()
+		as.SetWorkingSetLog(l)
+		rng := rand.New(rand.NewSource(42))
+		for _, span := range [][2]int{{120, 30}, {10, 5}, {60, 60}} {
+			if _, err := as.Access(rng, v, span[0], span[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Seal()
+		return l.Entries()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("nothing recorded")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed logs differ:\n%+v\n%+v", a, b)
+	}
+}

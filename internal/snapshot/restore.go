@@ -82,6 +82,23 @@ func (r *Restored) SetStatsSink(s *pagetable.Stats) {
 	}
 }
 
+// SetClock supplies virtual time to every restored address space, so
+// demand faults on in-flight prefetch batches charge their residual
+// wait (see pagetable.AddressSpace.SetClock).
+func (r *Restored) SetClock(clock func() time.Duration) {
+	for _, as := range r.Spaces {
+		as.SetClock(clock)
+	}
+}
+
+// SetWorkingSetLog attaches a first-run working-set recorder to every
+// restored address space (see pagetable.AddressSpace.SetWorkingSetLog).
+func (r *Restored) SetWorkingSetLog(l *pagetable.WorkingSetLog) {
+	for _, as := range r.Spaces {
+		as.SetWorkingSetLog(l)
+	}
+}
+
 // layout rebuilds a snapshot's VMAs into fresh address spaces using the
 // same deterministic layout as Store.Preprocess. backing, if non-nil, is
 // applied to every region.

@@ -114,6 +114,10 @@ type Image struct {
 	Templates []*mmtemplate.Template
 	// MetadataBytes is the summed template metadata size.
 	MetadataBytes int64
+	// WSLog is the image's working-set log: the first run against the
+	// template records its fault order here, every later restore can
+	// replay it as batched prefetches. Shared rack-wide with the image.
+	WSLog *pagetable.WorkingSetLog
 
 	store     *Store
 	blockKeys []string
@@ -195,7 +199,7 @@ func (st *Store) Preprocess(snap *Snapshot, place Placement) (*Image, error) {
 	}
 	st.versions[snap.Function]++
 	version := st.versions[snap.Function]
-	img := &Image{Snapshot: snap, store: st}
+	img := &Image{Snapshot: snap, store: st, WSLog: &pagetable.WorkingSetLog{}}
 	cleanup := func() {
 		for _, k := range img.blockKeys {
 			st.blocks.Release(k)

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Documentation drift checks, run in CI:
+#   1. every internal package (and the root package) carries a godoc
+#      package comment ("// Package <name> ...");
+#   2. every HTTP route cmd/trenvd registers appears in README.md's
+#      endpoint table;
+#   3. every flag cmd/trenv-bench defines appears in EXPERIMENTS.md's
+#      flag table.
+# Exits non-zero listing everything that is missing.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+for dir in internal/*/; do
+    pkg=$(basename "$dir")
+    if ! grep -l "^// Package $pkg " "$dir"*.go >/dev/null 2>&1; then
+        echo "missing package comment: $dir (want '// Package $pkg ...')" >&2
+        fail=1
+    fi
+done
+if ! grep -q "^// Package trenv " trenv.go; then
+    echo "missing package comment on the root facade (trenv.go)" >&2
+    fail=1
+fi
+for dir in cmd/*/; do
+    if ! grep -qh "^// Command $(basename "$dir") " "$dir"*.go; then
+        echo "missing command comment: $dir (want '// Command $(basename "$dir") ...')" >&2
+        fail=1
+    fi
+done
+
+endpoints=$(sed -n 's/.*mux.HandleFunc("\(GET\|POST\) \([^"]*\)".*/\1 \2/p' cmd/trenvd/main.go | sort -u)
+[ -n "$endpoints" ] || { echo "found no routes in cmd/trenvd/main.go" >&2; exit 1; }
+echo "$endpoints" | while read -r method path; do
+    if ! grep -q "\`$method $path\`" README.md; then
+        echo "trenvd endpoint undocumented in README.md: $method $path" >&2
+        touch .docs-check-failed
+    fi
+done
+
+flags=$(sed -n 's/.*flag\.\(Bool\|String\|Int64\|Int\|Float64\|Duration\)("\([a-z-]*\)".*/\2/p' cmd/trenv-bench/main.go | sort -u)
+[ -n "$flags" ] || { echo "found no flags in cmd/trenv-bench/main.go" >&2; exit 1; }
+for f in $flags; do
+    case "$f" in list) continue ;; esac # -list is usage plumbing, not an experiment knob
+    if ! grep -q -- "-$f" EXPERIMENTS.md; then
+        echo "trenv-bench flag undocumented in EXPERIMENTS.md: -$f" >&2
+        fail=1
+    fi
+done
+
+if [ -e .docs-check-failed ]; then
+    rm -f .docs-check-failed
+    fail=1
+fi
+exit $fail

@@ -47,6 +47,7 @@ import (
 	"repro/internal/mmtemplate"
 	"repro/internal/obs"
 	"repro/internal/pagetable"
+	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/vm"
@@ -283,6 +284,53 @@ func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
 
 // Histogram collects latency samples with exact percentiles.
 type Histogram = sim.Histogram
+
+// ---------------------------------------------------------------------
+// Working-set prefetching (batched remote fetch + hot-run promotion).
+// Enabled on a container platform via ContainerConfig.Prefetch; the
+// types below expose the machinery for custom experiments.
+
+// WorkingSetLog is a template's recorded first-run fault order: a
+// deterministic, seed-stable sequence of page runs that later restores
+// replay as batched remote fetches.
+type WorkingSetLog = pagetable.WorkingSetLog
+
+// WorkingSetFetch is one contiguous page run of a WorkingSetLog.
+type WorkingSetFetch = pagetable.WSFetch
+
+// Prefetcher replays sealed working-set logs on template attach: it
+// issues doorbell-batched fetches racing the invocation and promotes
+// runs replayed often enough into the node's direct-access cache.
+type Prefetcher = prefetch.Prefetcher
+
+// PrefetchConfig tunes batch size and the promotion threshold.
+type PrefetchConfig = prefetch.Config
+
+// PrefetchSummary reports what one restore's replay did (recording vs
+// batches launched vs pages promoted); Prefetcher.OnRestore returns it.
+type PrefetchSummary = prefetch.Summary
+
+// DefaultPrefetchBatchPages is the doorbell batch size used when
+// PrefetchConfig.BatchPages is zero: 64 pages (256 KB) per remote
+// round trip.
+const DefaultPrefetchBatchPages = prefetch.DefaultBatchPages
+
+// NewPrefetcher builds a prefetcher over an optional promotion cache
+// (nil disables promotion regardless of the threshold).
+func NewPrefetcher(cache *PromotionCache, cfg PrefetchConfig) *Prefetcher {
+	return prefetch.New(cache, cfg)
+}
+
+// PromotionCache is the capacity-bounded per-node direct-access cache
+// hot working sets are promoted into (LRU eviction; evicted runs fall
+// back to batched replay).
+type PromotionCache = mem.PromotionCache
+
+// NewPromotionCache returns a cache backed by a byte-addressable pool
+// of the given capacity under the default latency model.
+func NewPromotionCache(capacity int64) *PromotionCache {
+	return mem.NewPromotionCache(capacity, mem.DefaultLatencyModel())
+}
 
 // ---------------------------------------------------------------------
 // Observability (spans, metrics, exporters).
