@@ -7,6 +7,8 @@
 //	            [-json] [-trace out.json] [-timeseries out.json]
 //	            [-analyze report.json] [-flame out.folded]
 //	            [-chaos spec] [-prefetch]
+//	trenv-bench -selfbench report.json [-seed N] [-scale F]
+//	trenv-bench -version
 //
 // -json prints the results as a JSON array instead of paper-style text;
 // -trace collects every invocation's span tree during the runs and
@@ -19,6 +21,14 @@
 // recorded spans as folded flamegraph stacks (flamegraph.pl /
 // speedscope compatible). Same-seed runs write byte-identical
 // time-series, analysis, and flamegraph files.
+//
+// -selfbench switches to the wall-clock self-benchmark: instead of
+// paper figures it measures the simulator itself (events/sec,
+// invocations/sec, spans/sec, allocations per event, observability
+// overhead) and writes the schema-stable report JSON that
+// scripts/bench-compare.sh regression-gates against the committed
+// BENCH_pr6.json baseline. Wall-clock readings are host-dependent;
+// the work counts inside the report are deterministic per seed/scale.
 package main
 
 import (
@@ -27,12 +37,40 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
+	trenv "repro"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/selfbench"
 )
+
+// runSelfBench executes the canonical wall-clock suite and writes the
+// schema-stable report, echoing a human summary to stdout.
+func runSelfBench(path string, seed int64, scale float64) error {
+	rep := selfbench.RunSuite(selfbench.Options{Seed: seed, Scale: scale})
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		return err
+	}
+	if path != "-" {
+		for _, line := range rep.Summary() {
+			fmt.Println(line)
+		}
+		fmt.Fprintf(os.Stderr, "trenv-bench: wrote self-benchmark report to %s\n", path)
+	}
+	return nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment IDs (table1..fig26) or 'all'")
@@ -47,7 +85,21 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec applied to every run, e.g. 'outage:cxl:10s-20s,flaky:rdma:0.2:burst=3,crash:n1:30s'")
 	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching on every TrEnv platform the experiments build")
+	selfbenchPath := flag.String("selfbench", "", "run the wall-clock self-benchmark suite instead of experiments and write the report JSON to this file ('-' for stdout)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("trenv-bench %s %s %s/%s\n", trenv.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
+	if *selfbenchPath != "" {
+		if err := runSelfBench(*selfbenchPath, *seed, *scale); err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: selfbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var tee io.Writer = os.Stdout
 	if *out != "" {

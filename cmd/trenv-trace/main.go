@@ -6,6 +6,7 @@
 //	trenv-trace -kind w1|w2|azure|huawei [-seed N] [-minutes M] [-out f.json]
 //	trenv-trace -from-csv trace.csv [-minutes M] [-out f.json]
 //	trenv-trace -inspect f.json
+//	trenv-trace -version
 //
 // -from-csv ingests the Azure Functions trace format (per-minute counts
 // per function), mapping its busiest rows onto the Table 4 functions.
@@ -18,6 +19,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -32,7 +34,13 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	inspect := flag.String("inspect", "", "inspect an existing trace file instead of generating")
 	fromCSV := flag.String("from-csv", "", "ingest an Azure Functions CSV trace instead of generating")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("trenv-trace %s %s %s/%s\n", trenv.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 
 	if *inspect != "" {
 		if err := inspectTrace(*inspect); err != nil {

@@ -7,7 +7,8 @@
 //
 //	trenvd [-addr :8080] [-policy trenv-cxl] [-seed 1] [-node n0]
 //	       [-slo-target-ms 0] [-slo-objective 0.99] [-sample-ms 100]
-//	       [-prefetch] [-promote-threshold 0]
+//	       [-prefetch] [-promote-threshold 0] [-pprof]
+//	trenvd -version
 //
 // -node labels every exported series (node="n0") so several trenvd
 // instances can be scraped into one fleet view; -slo-target-ms enables
@@ -16,7 +17,11 @@
 // prefetching on TrEnv policies (first run of a function records its
 // fault order, later restores replay it as batched remote fetches);
 // -promote-threshold additionally promotes runs replayed at least that
-// many times into the node's direct-access cache.
+// many times into the node's direct-access cache; -pprof additionally
+// serves Go's net/http/pprof profiles under /debug/pprof/ (off by
+// default — profiling is wall-clock-side only and never perturbs the
+// deterministic virtual-time exports); -version prints the build and
+// exits.
 //
 // Endpoints:
 //
@@ -36,6 +41,10 @@
 //	                           (?format=folded; flamegraph.pl compatible)
 //	GET  /experiments          list experiment IDs
 //	POST /experiments/run      {"id":"fig23","scale":0.2} regenerate one
+//	GET  /selfstats            wall-clock engine stats: uptime, events
+//	                           executed, events/sec of wall time, heap
+//	                           and GC readings, build identity
+//	GET  /debug/pprof/         Go runtime profiles (only with -pprof)
 //	GET  /healthz              node, circuit-breaker, and pool status
 //	POST /chaos                {"spec":"outage:cxl:1s-2s,..."} arm a
 //	                           deterministic fault schedule (or pass a
@@ -54,8 +63,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -78,6 +89,8 @@ type server struct {
 	breaker  *trenv.CircuitBreaker // fed by every terminal outcome
 	chaos    *trenv.FaultInjector  // non-nil once POST /chaos armed a schedule
 	labels   map[string]string     // node label applied to registered metrics
+	started  time.Time             // wall-clock start, denominator for /selfstats rates
+	pprof    bool                  // serve /debug/pprof/ when set
 }
 
 // serverOptions parameterize the control plane beyond policy and seed.
@@ -90,6 +103,7 @@ type serverOptions struct {
 	sampleEvery  time.Duration // flight-recorder interval (<= 0 = default)
 	prefetch     bool          // working-set prefetching (TrEnv policies only)
 	promoteAfter int           // replay count that promotes a run (0 = never)
+	pprof        bool          // serve net/http/pprof under /debug/pprof/
 }
 
 // newServer builds the control plane over a fresh simulated platform.
@@ -127,6 +141,7 @@ func newServerWith(o serverOptions) *server {
 	reg.CounterFunc("trenv_breaker_opens_total", "Circuit-breaker trips to open.", labels, breaker.Opens)
 	trenv.RegisterSchedulerTraceLog(reg, labels, pl.Engine().AttachTraceLog(4096))
 	trenv.RegisterTracerDrops(reg, labels, tracer)
+	trenv.RegisterBuildInfo(reg, labels)
 	return &server{
 		platform: pl,
 		tracer:   tracer,
@@ -137,6 +152,8 @@ func newServerWith(o serverOptions) *server {
 		seed:     o.seed,
 		breaker:  breaker,
 		labels:   labels,
+		started:  time.Now(),
+		pprof:    o.pprof,
 	}
 }
 
@@ -166,11 +183,23 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/experiments", methodNotAllowed("GET"))
 	mux.HandleFunc("POST /experiments/run", s.runExperiment)
 	mux.HandleFunc("/experiments/run", methodNotAllowed("POST"))
+	mux.HandleFunc("GET /selfstats", s.selfstats)
+	mux.HandleFunc("/selfstats", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("/healthz", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /chaos", s.chaosStatus)
 	mux.HandleFunc("POST /chaos", s.armChaos)
 	mux.HandleFunc("/chaos", methodNotAllowed("GET", "POST"))
+	if s.pprof {
+		// Wall-clock-side profiling of the server process. Reading a
+		// profile never touches the virtual clock or the event order, so
+		// deterministic exports stay byte-identical with -pprof on.
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
@@ -195,7 +224,14 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching (TrEnv policies only)")
 	promoteAfter := flag.Int("promote-threshold", 0, "replay count that promotes a working set into the direct-access cache (0 = never; needs -prefetch)")
 	drain := flag.Duration("drain-timeout", 5*time.Second, "bounded drain window for graceful shutdown on SIGINT/SIGTERM")
+	pprofOn := flag.Bool("pprof", false, "serve Go net/http/pprof profiles under /debug/pprof/")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Printf("trenvd %s %s %s/%s\n", trenv.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 
 	s := newServerWith(serverOptions{
 		policy:       trenv.ContainerPolicy(*policy),
@@ -206,6 +242,7 @@ func main() {
 		sampleEvery:  time.Duration(*sampleMS) * time.Millisecond,
 		prefetch:     *prefetch,
 		promoteAfter: *promoteAfter,
+		pprof:        *pprofOn,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -495,6 +532,45 @@ func (s *server) flame(w http.ResponseWriter, r *http.Request) {
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		log.Printf("trenvd: write flame: %v", err)
 	}
+}
+
+// selfstats reports the engine's wall-clock performance counters:
+// uptime, events executed and their rate over wall time, invocation
+// totals, heap/GC readings, and build identity. Everything here is
+// wall-clock-side — the virtual clock, event order, and every
+// deterministic export are unaffected by serving it.
+func (s *server) selfstats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	events := s.platform.Engine().Events()
+	invocations := s.platform.InvocationsStarted()
+	virtual := s.now
+	spans := s.tracer.Len()
+	spansDropped := s.tracer.Dropped()
+	s.mu.Unlock()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	uptime := time.Since(s.started)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"go_version":     runtime.Version(),
+		"version":        trenv.Version(),
+		"gomaxprocs":     runtime.GOMAXPROCS(0),
+		"goroutines":     runtime.NumGoroutine(),
+		"uptime_seconds": uptime.Seconds(),
+		"pprof_enabled":  s.pprof,
+		"engine": map[string]any{
+			"events":              events,
+			"events_per_wall_sec": trenv.WallRate(float64(events), uptime),
+			"virtual_time":        virtual.String(),
+		},
+		"invocations":     invocations,
+		"spans_retained":  spans,
+		"spans_dropped":   spansDropped,
+		"heap_alloc":      ms.HeapAlloc,
+		"total_alloc":     ms.TotalAlloc,
+		"mallocs":         ms.Mallocs,
+		"num_gc":          ms.NumGC,
+		"gc_pause_ns_sum": ms.PauseTotalNs,
+	})
 }
 
 // healthz reports node, breaker, and pool status. "ok" degrades to

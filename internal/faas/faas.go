@@ -1146,6 +1146,13 @@ func (pl *Platform) UsedMemory() int64 { return pl.node.Used() }
 // Active returns the number of invocations currently in flight.
 func (pl *Platform) Active() int { return pl.active }
 
+// InvocationsStarted returns how many invocations the platform has
+// dispatched since creation, warmup window included — the raw
+// throughput denominator wall-clock self-benchmarks divide by, as
+// opposed to Metrics().Invocations() which only counts post-warmup
+// completions.
+func (pl *Platform) InvocationsStarted() int64 { return pl.invSeq }
+
 // Cores returns the node's physical core count.
 func (pl *Platform) Cores() int { return pl.cfg.Cores }
 

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identity: every binary exports who built it as an info-style
+// gauge (constant 1, identity in the labels), the Prometheus idiom for
+// joining version metadata onto any other series. The values are fixed
+// per binary, so exporting them never perturbs deterministic output.
+
+// Version returns the main module's version as recorded by the Go
+// toolchain ("(devel)" for source builds, "unknown" when no build info
+// is embedded, e.g. some test binaries).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok || bi.Main.Version == "" {
+		return "unknown"
+	}
+	return bi.Main.Version
+}
+
+// RegisterBuildInfo registers the trenv_build_info gauge: constant 1
+// with the Go runtime version and module version as labels, merged
+// over the caller's base labels (node=... and friends).
+func RegisterBuildInfo(reg *Registry, labels map[string]string) {
+	info := mergeLabels(labels, map[string]string{
+		"go_version": runtime.Version(),
+		"version":    Version(),
+	})
+	reg.GaugeFunc("trenv_build_info",
+		"Build identity (constant 1; go_version and module version in the labels).",
+		info, func() float64 { return 1 })
+}

@@ -125,14 +125,23 @@ func (r *Recorder) Sample(now time.Duration) {
 		}
 		var rate float64
 		if s.Counter && ts.seen {
-			if dt := (now - ts.lastT).Seconds(); dt > 0 {
-				rate = (s.Value - ts.lastV) / dt
-			}
+			rate = safeRate(s.Value-ts.lastV, now-ts.lastT)
 		}
 		ts.push(Point{T: now, Value: s.Value, Rate: rate})
 		ts.lastT, ts.lastV, ts.seen = now, s.Value, true
 	}
 	r.samples++
+}
+
+// safeRate returns delta per second over elapsed, or 0 when the
+// interval is zero or negative — rates must never divide by a
+// degenerate interval (clock stalls, duplicate samples, reordered
+// pumps), they degrade to "no rate" instead of Inf/NaN.
+func safeRate(delta float64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return delta / elapsed.Seconds()
 }
 
 // Samples returns how many times Sample ran.

@@ -177,7 +177,13 @@ func (t *SLOTracker) BurnRate(fn string, now, window time.Duration) float64 {
 	if total == 0 {
 		return 0
 	}
-	return (float64(bad) / float64(total)) / (1 - s.slo.Objective)
+	// Track validates Objective into (0,1), but guard the error-budget
+	// denominator anyway: a degenerate objective must not divide by zero.
+	den := 1 - s.slo.Objective
+	if den <= 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / den
 }
 
 // Compliance returns the fraction of invocations within target over the

@@ -1,0 +1,132 @@
+package selfbench
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeReport renders rep into dir under name and returns the path.
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runCompare executes scripts/bench-compare.sh against the two
+// artifacts and returns the exit code plus combined output.
+func runCompare(t *testing.T, baseline, fresh string, env ...string) (int, string) {
+	t.Helper()
+	script, err := filepath.Abs(filepath.Join("..", "..", "scripts", "bench-compare.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("sh", script, baseline, fresh)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("run %s: %v\n%s", script, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestBenchCompareScript is the acceptance check for the regression
+// gate: identical artifacts pass, degraded throughput or grown
+// allocations fail, incomparable artifacts are refused, and the
+// tolerance bands respond to their environment overrides.
+func TestBenchCompareScript(t *testing.T) {
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("sh not available")
+	}
+	dir := t.TempDir()
+	rep := RunSuite(Options{Seed: 9, Scale: 0.01})
+	baseline := writeReport(t, dir, "baseline.json", rep)
+
+	t.Run("identical-passes", func(t *testing.T) {
+		code, out := runCompare(t, baseline, baseline)
+		if code != 0 {
+			t.Fatalf("identical artifacts rejected (exit %d):\n%s", code, out)
+		}
+		for _, want := range []string{"events_per_sec", "invocations_per_sec", "allocs_per_event", "bench-compare: ok"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("summary missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("throughput-regression-fails", func(t *testing.T) {
+		bad := *rep
+		bad.Aggregate.EventsPerSec *= 0.5 // beyond the 30% band
+		fresh := writeReport(t, dir, "slow.json", &bad)
+		code, out := runCompare(t, baseline, fresh)
+		if code == 0 {
+			t.Fatalf("50%% events/sec regression accepted:\n%s", out)
+		}
+		if !strings.Contains(out, "FAIL events_per_sec") {
+			t.Errorf("missing gate verdict:\n%s", out)
+		}
+	})
+
+	t.Run("alloc-growth-fails", func(t *testing.T) {
+		bad := *rep
+		bad.Aggregate.AllocsPerEvent *= 1.5 // beyond the 20% band
+		fresh := writeReport(t, dir, "leaky.json", &bad)
+		code, out := runCompare(t, baseline, fresh)
+		if code == 0 {
+			t.Fatalf("50%% allocs/event growth accepted:\n%s", out)
+		}
+		if !strings.Contains(out, "FAIL allocs_per_event") {
+			t.Errorf("missing gate verdict:\n%s", out)
+		}
+	})
+
+	t.Run("schema-mismatch-refused", func(t *testing.T) {
+		bad := *rep
+		bad.Schema = "trenv-selfbench/v999"
+		fresh := writeReport(t, dir, "alien.json", &bad)
+		if code, out := runCompare(t, baseline, fresh); code == 0 {
+			t.Fatalf("schema mismatch accepted:\n%s", out)
+		}
+	})
+
+	t.Run("seed-mismatch-refused", func(t *testing.T) {
+		bad := *rep
+		bad.Seed++
+		fresh := writeReport(t, dir, "reseeded.json", &bad)
+		if code, out := runCompare(t, baseline, fresh); code == 0 {
+			t.Fatalf("seed mismatch accepted:\n%s", out)
+		}
+	})
+
+	t.Run("tolerance-env-override", func(t *testing.T) {
+		bad := *rep
+		bad.Aggregate.EventsPerSec *= 0.9 // inside 30%, outside 5%
+		fresh := writeReport(t, dir, "slightly-slow.json", &bad)
+		if code, out := runCompare(t, baseline, fresh); code != 0 {
+			t.Fatalf("10%% dip rejected under default band:\n%s", out)
+		}
+		if code, out := runCompare(t, baseline, fresh, "TRENV_EVENTS_TOL=0.05"); code == 0 {
+			t.Fatalf("10%% dip accepted under 5%% band:\n%s", out)
+		}
+	})
+
+	t.Run("missing-file-errors", func(t *testing.T) {
+		if code, _ := runCompare(t, baseline, filepath.Join(dir, "nope.json")); code == 0 {
+			t.Fatal("unreadable fresh artifact accepted")
+		}
+	})
+}

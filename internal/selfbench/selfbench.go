@@ -1,0 +1,114 @@
+// Package selfbench measures the simulator's own wall-clock
+// performance: how fast the discrete-event engine and the platform
+// stack above it execute on the host machine, as opposed to the
+// virtual-time results every other package reports. It produces a
+// schema-stable JSON report (events/sec, invocations/sec, spans/sec,
+// wall time per simulated second, allocations and bytes per event, and
+// an observability-overhead probe) that is committed to the repo as
+// BENCH_pr6.json and regression-gated in CI by scripts/bench-compare.sh.
+//
+// Self-measurement is strictly read-only with respect to the
+// simulation: it reads the engine's event counter, the platform's
+// invocation counters, and runtime.MemStats around a measured run, so
+// same-seed runs stay byte-identical in every deterministic export
+// whether or not they are being measured.
+package selfbench
+
+import (
+	"runtime"
+	"time"
+)
+
+// Schema identifies the report layout; bump the suffix on any
+// incompatible field change so bench-compare.sh refuses to compare
+// artifacts across layouts.
+const Schema = "trenv-selfbench/v1"
+
+// Counts are the deterministic work totals of one measured run — pure
+// functions of the seed, independent of the host's speed.
+type Counts struct {
+	Events      int64         // engine events executed (sim.Engine.Events)
+	Invocations int64         // invocations dispatched across the run
+	Spans       int64         // spans recorded by the tracer, children included
+	SimTime     time.Duration // virtual time the run covered
+}
+
+// Result is one measured run: its deterministic work totals plus the
+// host-dependent wall-clock and allocation readings derived from them.
+type Result struct {
+	Name        string  `json:"name"`
+	Seed        int64   `json:"seed"`
+	Events      int64   `json:"events"`
+	Invocations int64   `json:"invocations"`
+	Spans       int64   `json:"spans"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+
+	EventsPerSec      float64 `json:"events_per_sec"`
+	InvocationsPerSec float64 `json:"invocations_per_sec"`
+	SpansPerSec       float64 `json:"spans_per_sec"`
+	WallMSPerSimSec   float64 `json:"wall_ms_per_sim_sec"`
+
+	Allocs         uint64  `json:"allocs"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// Rate returns n per second over elapsed, or 0 when the interval is
+// zero or negative: wall-clock deltas can legitimately collapse to
+// zero (coarse clocks, instant runs) and must degrade to "no rate"
+// instead of dividing by zero.
+func Rate(n float64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return n / elapsed.Seconds()
+}
+
+// perUnit returns total/units, or 0 when units is not positive.
+func perUnit(total float64, units int64) float64 {
+	if units <= 0 {
+		return 0
+	}
+	return total / float64(units)
+}
+
+// Measure runs fn between MemStats snapshots and wall-clock stamps and
+// derives the per-second and per-event readings from the Counts it
+// returns. A GC settles the heap before the measured region so the
+// allocation delta belongs to fn alone (modulo background GC assists).
+func Measure(name string, seed int64, fn func() Counts) Result {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	c := fn()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	allocs := after.Mallocs - before.Mallocs
+	bytes := after.TotalAlloc - before.TotalAlloc
+	r := Result{
+		Name:        name,
+		Seed:        seed,
+		Events:      c.Events,
+		Invocations: c.Invocations,
+		Spans:       c.Spans,
+		SimSeconds:  c.SimTime.Seconds(),
+		WallSeconds: wall.Seconds(),
+
+		EventsPerSec:      Rate(float64(c.Events), wall),
+		InvocationsPerSec: Rate(float64(c.Invocations), wall),
+		SpansPerSec:       Rate(float64(c.Spans), wall),
+
+		Allocs:         allocs,
+		AllocBytes:     bytes,
+		AllocsPerEvent: perUnit(float64(allocs), c.Events),
+		BytesPerEvent:  perUnit(float64(bytes), c.Events),
+	}
+	if c.SimTime > 0 {
+		r.WallMSPerSimSec = wall.Seconds() * 1000 / c.SimTime.Seconds()
+	}
+	return r
+}

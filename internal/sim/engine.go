@@ -249,6 +249,12 @@ func (e *Engine) Shutdown() {
 // Pending reports the number of queued events (for tests).
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Events returns how many events the engine has executed so far. The
+// counter lives on the hot loop (one integer increment per event, no
+// allocation) so wall-clock self-benchmarks can derive events/sec
+// without touching virtual time or the deterministic event order.
+func (e *Engine) Events() int64 { return int64(e.events) }
+
 // Signal is a broadcast condition variable for simulated processes.
 type Signal struct {
 	waiters []*Proc

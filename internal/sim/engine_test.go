@@ -203,3 +203,28 @@ func TestNegativeSleepPanics(t *testing.T) {
 	})
 	e.Run()
 }
+
+func TestEngineEventsCounter(t *testing.T) {
+	e := NewEngine(1)
+	if e.Events() != 0 {
+		t.Fatalf("fresh engine reports %d events, want 0", e.Events())
+	}
+	e.Go("sleeper", func(p *Proc) {
+		p.Sleep(time.Millisecond) // spawn event + wake event
+	})
+	e.After(2*time.Millisecond, func() {}) // one callback event
+	e.Run()
+	// spawn resume, sleep wake, callback = 3 executed events.
+	if got := e.Events(); got != 3 {
+		t.Fatalf("Events() = %d, want 3", got)
+	}
+	// Same-seed rerun executes the identical count: the counter is a
+	// pure function of the deterministic schedule.
+	e2 := NewEngine(1)
+	e2.Go("sleeper", func(p *Proc) { p.Sleep(time.Millisecond) })
+	e2.After(2*time.Millisecond, func() {})
+	e2.Run()
+	if e2.Events() != e.Events() {
+		t.Fatalf("same-seed event counts differ: %d vs %d", e2.Events(), e.Events())
+	}
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env sh
+# bench-compare.sh — regression-gate a fresh selfbench artifact against
+# the committed baseline.
+#
+#   sh scripts/bench-compare.sh BENCH_pr6.json fresh.json
+#
+# Reads the `aggregate` block of two `trenv-bench -selfbench` reports
+# (schema trenv-selfbench/v1; field layout is part of the schema, so a
+# JSON parser is not needed) and fails when the fresh run shows
+#
+#   - events_per_sec        below baseline by more than TRENV_EVENTS_TOL
+#   - invocations_per_sec   below baseline by more than TRENV_EVENTS_TOL
+#   - allocs_per_event      above baseline by more than TRENV_ALLOCS_TOL
+#
+# Tolerances are fractions (defaults: 0.30 throughput regression, 0.20
+# allocation growth — wall-clock throughput varies across machines, so
+# the band is wide; allocations per event are nearly machine-independent,
+# so the band is tight). The two artifacts must agree on schema, seed,
+# and scale — comparing different workloads is refused outright.
+# obs_overhead_pct is reported but not gated (it is a noisy difference
+# of two wall times).
+set -u
+
+TRENV_EVENTS_TOL="${TRENV_EVENTS_TOL:-0.30}"
+TRENV_ALLOCS_TOL="${TRENV_ALLOCS_TOL:-0.20}"
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 baseline.json fresh.json" >&2
+    exit 2
+fi
+baseline=$1
+fresh=$2
+for f in "$baseline" "$fresh"; do
+    if [ ! -r "$f" ]; then
+        echo "bench-compare: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+# agg_field FILE KEY — value of KEY inside the top-level "aggregate"
+# block (first match wins, search stops at the block's closing brace).
+agg_field() {
+    awk -v key="\"$2\"" '
+        /"aggregate": \{/ { inagg = 1; next }
+        inagg && /^  \}/ { exit }
+        inagg && index($0, key ":") {
+            v = $0
+            sub(/^[^:]*: */, "", v)
+            sub(/,$/, "", v)
+            print v
+            exit
+        }' "$1"
+}
+
+# top_field FILE KEY — first occurrence of KEY in the file (top-level
+# identity fields precede every nested block in the schema).
+top_field() {
+    awk -v key="\"$2\"" '
+        index($0, key ":") {
+            v = $0
+            sub(/^[^:]*: */, "", v)
+            sub(/,$/, "", v)
+            gsub(/"/, "", v)
+            print v
+            exit
+        }' "$1"
+}
+
+require() { # NAME VALUE FILE
+    if [ -z "$2" ]; then
+        echo "bench-compare: $3 has no $1 field (not a selfbench artifact?)" >&2
+        exit 2
+    fi
+}
+
+fail=0
+
+for key in schema seed scale; do
+    b=$(top_field "$baseline" "$key")
+    f=$(top_field "$fresh" "$key")
+    require "$key" "$b" "$baseline"
+    require "$key" "$f" "$fresh"
+    if [ "$b" != "$f" ]; then
+        echo "FAIL $key mismatch: baseline $b vs fresh $f (artifacts are not comparable)" >&2
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+# gate NAME MODE TOL — MODE is `floor` (fail when fresh drops below
+# baseline*(1-TOL)) or `ceil` (fail when fresh rises above
+# baseline*(1+TOL)).
+gate() {
+    name=$1 mode=$2 tol=$3
+    b=$(agg_field "$baseline" "$name")
+    f=$(agg_field "$fresh" "$name")
+    require "$name" "$b" "$baseline"
+    require "$name" "$f" "$fresh"
+    awk -v b="$b" -v f="$f" -v tol="$tol" -v name="$name" -v mode="$mode" 'BEGIN {
+        if (b <= 0) { printf "ok   %-22s baseline %.4g not gateable\n", name, b; exit 0 }
+        if (mode == "floor") {
+            bound = b * (1 - tol)
+            bad = (f < bound)
+            rel = (f - b) / b * 100
+            word = "floor"
+        } else {
+            bound = b * (1 + tol)
+            bad = (f > bound)
+            rel = (f - b) / b * 100
+            word = "ceiling"
+        }
+        if (bad) {
+            printf "FAIL %-22s %.4g vs baseline %.4g (%+.1f%%, %s %.4g)\n", name, f, b, rel, word, bound
+            exit 1
+        }
+        printf "ok   %-22s %.4g vs baseline %.4g (%+.1f%%, %s %.4g)\n", name, f, b, rel, word, bound
+    }' || fail=1
+}
+
+gate events_per_sec floor "$TRENV_EVENTS_TOL"
+gate invocations_per_sec floor "$TRENV_EVENTS_TOL"
+gate allocs_per_event ceil "$TRENV_ALLOCS_TOL"
+
+echo "info obs_overhead_pct       baseline $(agg_field "$baseline" obs_overhead_pct) vs fresh $(agg_field "$fresh" obs_overhead_pct) (not gated)"
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench-compare: FAILED ($fresh regressed against $baseline)" >&2
+    exit 1
+fi
+echo "bench-compare: ok ($fresh within tolerance of $baseline)"

@@ -5,7 +5,11 @@
 #   2. every HTTP route cmd/trenvd registers appears in README.md's
 #      endpoint table;
 #   3. every flag cmd/trenv-bench defines appears in EXPERIMENTS.md's
-#      flag table.
+#      flag table;
+#   4. every flag cmd/trenvd defines appears in README.md's trenvd
+#      flag list;
+#   5. every flag cmd/trenv-trace defines appears in its own command
+#      comment (the godoc usage block).
 # Exits non-zero listing everything that is missing.
 set -eu
 
@@ -45,6 +49,24 @@ for f in $flags; do
     case "$f" in list) continue ;; esac # -list is usage plumbing, not an experiment knob
     if ! grep -q -- "-$f" EXPERIMENTS.md; then
         echo "trenv-bench flag undocumented in EXPERIMENTS.md: -$f" >&2
+        fail=1
+    fi
+done
+
+dflags=$(sed -n 's/.*flag\.\(Bool\|String\|Int64\|Int\|Float64\|Duration\)("\([a-z-]*\)".*/\2/p' cmd/trenvd/main.go | sort -u)
+[ -n "$dflags" ] || { echo "found no flags in cmd/trenvd/main.go" >&2; exit 1; }
+for f in $dflags; do
+    if ! grep -q -- "\`-$f\`" README.md; then
+        echo "trenvd flag undocumented in README.md: -$f" >&2
+        fail=1
+    fi
+done
+
+tflags=$(sed -n 's/.*flag\.\(Bool\|String\|Int64\|Int\|Float64\|Duration\)("\([a-z-]*\)".*/\2/p' cmd/trenv-trace/main.go | sort -u)
+[ -n "$tflags" ] || { echo "found no flags in cmd/trenv-trace/main.go" >&2; exit 1; }
+for f in $tflags; do
+    if ! grep "^//" cmd/trenv-trace/main.go | grep -q -- "-$f"; then
+        echo "trenv-trace flag undocumented in its command comment: -$f" >&2
         fail=1
     fi
 done

@@ -48,6 +48,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pagetable"
 	"repro/internal/prefetch"
+	"repro/internal/selfbench"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
 	"repro/internal/vm"
@@ -537,4 +538,39 @@ func ExperimentIDs() []string {
 		out = append(out, e.ID)
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------
+// Engine self-observability (wall-clock performance of the simulator
+// itself; see internal/selfbench).
+
+// SelfBenchOptions configure a self-benchmark suite run (seed + scale).
+type SelfBenchOptions = selfbench.Options
+
+// SelfBenchReport is the schema-stable wall-clock report `trenv-bench
+// -selfbench` emits and scripts/bench-compare.sh regression-gates.
+type SelfBenchReport = selfbench.Report
+
+// SelfBenchResult is one measured run inside a SelfBenchReport.
+type SelfBenchResult = selfbench.Result
+
+// RunSelfBench executes the canonical self-benchmark suite: the bare
+// engine hot loop, a single-node W1 run with observability off and on
+// (the overhead probe), and a 4-node cluster run. Deterministic work
+// counts are a pure function of the options; wall-clock readings are
+// host-dependent by definition.
+func RunSelfBench(o SelfBenchOptions) *SelfBenchReport { return selfbench.RunSuite(o) }
+
+// WallRate returns n per second over a wall-clock interval, degrading
+// to 0 on zero or negative intervals instead of dividing by zero.
+func WallRate(n float64, elapsed time.Duration) float64 { return selfbench.Rate(n, elapsed) }
+
+// Version returns the module version recorded by the Go toolchain
+// ("(devel)" for source builds).
+func Version() string { return obs.Version() }
+
+// RegisterBuildInfo registers the trenv_build_info identity gauge
+// (constant 1; go_version and module version in the labels).
+func RegisterBuildInfo(reg *MetricsRegistry, labels map[string]string) {
+	obs.RegisterBuildInfo(reg, labels)
 }
