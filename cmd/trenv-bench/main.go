@@ -6,6 +6,7 @@
 //	trenv-bench [-exp table1,fig17,...|all] [-seed N] [-scale F]
 //	            [-json] [-trace out.json] [-timeseries out.json]
 //	            [-analyze report.json] [-flame out.folded]
+//	            [-report bundle.json] [-report-lean]
 //	            [-chaos spec] [-prefetch]
 //	trenv-bench -selfbench report.json [-seed N] [-scale F]
 //	trenv-bench -version
@@ -21,6 +22,15 @@
 // recorded spans as folded flamegraph stacks (flamegraph.pl /
 // speedscope compatible). Same-seed runs write byte-identical
 // time-series, analysis, and flamegraph files.
+//
+// -report writes the schema-stable trenv-report/v1 run bundle: the
+// run's identity (seed, scale, flags, build version), every figure's
+// rendered rows, per-run end-state metrics and sampled series, trace
+// analytics, and the flattened virtual-time-ordered span list. Bundles
+// are what cmd/trenv-diff compares; same-seed runs write byte-identical
+// bundles. -report-lean shrinks the bundle to committed-baseline size
+// (spans and sampled series omitted); combined with -selfbench,
+// -report converts the wall-clock artifact into a bundle instead.
 //
 // -selfbench switches to the wall-clock self-benchmark: instead of
 // paper figures it measures the simulator itself (events/sec,
@@ -44,12 +54,15 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/report"
 	"repro/internal/selfbench"
 )
 
 // runSelfBench executes the canonical wall-clock suite and writes the
-// schema-stable report, echoing a human summary to stdout.
-func runSelfBench(path string, seed int64, scale float64) error {
+// schema-stable report, echoing a human summary to stdout. When
+// reportPath is set, the artifact is additionally converted into a
+// trenv-report/v1 bundle and written there.
+func runSelfBench(path, reportPath string, seed int64, scale float64) error {
 	rep := selfbench.RunSuite(selfbench.Options{Seed: seed, Scale: scale})
 	out := os.Stdout
 	if path != "-" {
@@ -69,6 +82,12 @@ func runSelfBench(path string, seed int64, scale float64) error {
 		}
 		fmt.Fprintf(os.Stderr, "trenv-bench: wrote self-benchmark report to %s\n", path)
 	}
+	if reportPath != "" {
+		if err := report.FromSelfbench(rep).WriteFile(reportPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trenv-bench: wrote run bundle to %s\n", reportPath)
+	}
 	return nil
 }
 
@@ -86,6 +105,8 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "fault-injection spec applied to every run, e.g. 'outage:cxl:10s-20s,flaky:rdma:0.2:burst=3,crash:n1:30s'")
 	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching on every TrEnv platform the experiments build")
 	selfbenchPath := flag.String("selfbench", "", "run the wall-clock self-benchmark suite instead of experiments and write the report JSON to this file ('-' for stdout)")
+	reportPath := flag.String("report", "", "write the schema-stable trenv-report/v1 run bundle (figures, metrics, series, spans, analysis) to this file")
+	reportLean := flag.Bool("report-lean", false, "with -report: omit spans and sampled series, producing a committed-baseline-sized bundle")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -94,7 +115,7 @@ func main() {
 		return
 	}
 	if *selfbenchPath != "" {
-		if err := runSelfBench(*selfbenchPath, *seed, *scale); err != nil {
+		if err := runSelfBench(*selfbenchPath, *reportPath, *seed, *scale); err != nil {
 			fmt.Fprintf(os.Stderr, "trenv-bench: selfbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -119,10 +140,10 @@ func main() {
 		return
 	}
 	o := experiments.Options{Seed: *seed, Scale: *scale, Prefetch: *prefetch}
-	if *tracePath != "" || *analyzePath != "" || *flamePath != "" {
+	if *tracePath != "" || *analyzePath != "" || *flamePath != "" || *reportPath != "" {
 		o.Tracer = obs.NewTracer(0)
 	}
-	if *tsPath != "" {
+	if *tsPath != "" || *reportPath != "" {
 		o.Recorders = obs.NewRecorderSet(0, 0)
 	}
 	if *chaosSpec != "" {
@@ -139,19 +160,20 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		ids = strings.Split(*exp, ",")
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
 	}
 	var results []*experiments.Result
 	for _, id := range ids {
-		run, ok := experiments.ByID(strings.TrimSpace(id))
+		run, ok := experiments.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "trenv-bench: unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
 		r := run(o)
-		if *jsonOut {
-			results = append(results, r)
-		} else {
+		results = append(results, r)
+		if !*jsonOut {
 			fmt.Fprintln(tee, r)
 		}
 	}
@@ -240,5 +262,14 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trenv-bench: wrote time series for %d runs to %s\n",
 			o.Recorders.Runs(), *tsPath)
+	}
+	if *reportPath != "" {
+		rep := experiments.BuildReport(ids, o, results, *reportLean)
+		if err := rep.WriteFile(*reportPath); err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: write report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trenv-bench: wrote run bundle (%d figures, %d metrics, %d series, %d spans) to %s\n",
+			len(rep.Figures), len(rep.Metrics), len(rep.Series), len(rep.Spans), *reportPath)
 	}
 }

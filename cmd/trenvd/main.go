@@ -39,6 +39,9 @@
 //	                           links (?last=N ?top=K)
 //	GET  /flame                folded-stack flamegraph of recorded spans
 //	                           (?format=folded; flamegraph.pl compatible)
+//	GET  /report               schema-stable trenv-report/v1 run bundle
+//	                           (identity, metrics, series, spans, trace
+//	                           analytics) for cmd/trenv-diff comparison
 //	GET  /experiments          list experiment IDs
 //	POST /experiments/run      {"id":"fig23","scale":0.2} regenerate one
 //	GET  /selfstats            wall-clock engine stats: uptime, events
@@ -179,6 +182,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/analyze", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /flame", s.flame)
 	mux.HandleFunc("/flame", methodNotAllowed("GET"))
+	mux.HandleFunc("GET /report", s.report)
+	mux.HandleFunc("/report", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /experiments", s.listExperiments)
 	mux.HandleFunc("/experiments", methodNotAllowed("GET"))
 	mux.HandleFunc("POST /experiments/run", s.runExperiment)
@@ -531,6 +536,37 @@ func (s *server) flame(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		log.Printf("trenvd: write flame: %v", err)
+	}
+}
+
+// report serves the schema-stable trenv-report/v1 run bundle over the
+// server's full observable state: identity (seed, policy, node), the
+// registry's end-state metrics, the flight recorder's sampled series,
+// trace analytics, and the flattened virtual-time-ordered span list.
+// Same-seed servers driven with identical batches serve byte-identical
+// bundles, which is what lets cmd/trenv-diff compare two daemons.
+func (s *server) report(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rep := trenv.NewRunReport("trenvd", s.seed, 1)
+	rep.SetFlag("policy", string(s.platform.Policy()))
+	if node := s.platform.NodeName(); node != "" {
+		rep.SetFlag("node", node)
+	}
+	rep.AddMetrics("", s.registry)
+	rep.AddRecorder("", s.recorder, 0)
+	roots := s.tracer.Spans()
+	rep.AddSpans(roots)
+	rep.Analyze(roots, 0)
+	var buf bytes.Buffer
+	err := rep.WriteJSON(&buf)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("trenvd: write report: %v", err)
 	}
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	trenv "repro"
+	"repro/internal/report"
+)
+
+func TestReportEndpointServesBundle(t *testing.T) {
+	ts := testServer(t)
+	deployAndInvoke(t, ts.URL)
+
+	rep, err := report.Decode(bytes.NewReader(getOK(t, ts.URL+"/report")))
+	if err != nil {
+		t.Fatalf("invalid bundle: %v", err)
+	}
+	if rep.Source != "trenvd" || rep.Seed != 1 {
+		t.Fatalf("identity = %q/%d, want trenvd/1", rep.Source, rep.Seed)
+	}
+	if rep.Flags["policy"] != string(trenv.TrEnvCXL) {
+		t.Fatalf("flags = %v", rep.Flags)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Fatal("bundle carries no metrics")
+	}
+	if len(rep.Spans) == 0 {
+		t.Fatal("bundle carries no spans")
+	}
+	if rep.Analysis == nil || rep.Analysis.Invocations != 4 {
+		t.Fatalf("analysis = %+v, want 4 invocations", rep.Analysis)
+	}
+}
+
+func TestReportByteIdenticalAcrossSameSeedServers(t *testing.T) {
+	a := testServer(t)
+	deployAndInvoke(t, a.URL)
+	b := testServer(t)
+	deployAndInvoke(t, b.URL)
+
+	rawA := getOK(t, a.URL+"/report")
+	rawB := getOK(t, b.URL+"/report")
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatal("report bundles differ across same-seed servers")
+	}
+
+	// The diff engine agrees: zero findings between the two daemons.
+	repA, err := report.Decode(bytes.NewReader(rawA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := report.Decode(bytes.NewReader(rawB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trenv.CompareRunReports(repA, repB, trenv.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 || res.Regressed() {
+		t.Fatalf("same-seed daemons diff dirty: %+v", res.Findings)
+	}
+}

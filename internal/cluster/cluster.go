@@ -42,6 +42,7 @@ type Cluster struct {
 
 	recorder *obs.Recorder
 	recEvery time.Duration
+	seed     int64
 }
 
 // New builds a cluster of n nodes. Each node gets cfg's policy and
@@ -61,7 +62,7 @@ func New(n int, cfg faas.Config) (*Cluster, error) {
 	// compute node — remote-fetch spans report it as their home.
 	cxl.SetHome("mem0")
 	store := snapshot.NewStore(mem.NewBlockStore(cxl), mmtemplate.NewRegistry())
-	c := &Cluster{eng: eng, cxl: cxl, store: store, down: make(map[int]bool)}
+	c := &Cluster{eng: eng, cxl: cxl, store: store, down: make(map[int]bool), seed: cfg.Seed}
 	for i := 0; i < n; i++ {
 		nodeCfg := cfg
 		nodeCfg.Engine = eng
@@ -156,6 +157,10 @@ func (c *Cluster) Chaos() *fault.Injector { return c.chaos }
 
 // Engine returns the shared simulation engine.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Seed returns the simulation seed the cluster was built with — part of
+// a run report's identity.
+func (c *Cluster) Seed() int64 { return c.seed }
 
 // Nodes returns the cluster's platforms.
 func (c *Cluster) Nodes() []*faas.Platform { return c.nodes }

@@ -1,0 +1,94 @@
+package diff
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Determinism triage: every accepted pair shares a seed, so when both
+// bundles carry span lists the runs were supposed to be byte-identical.
+// Instead of "bytes differ", walk the virtual-time-ordered lists in
+// parallel and name the first span where they disagree.
+
+// triage sets r.Determinism (and a matching finding) when the span
+// lists diverge. Reports without spans (lean baselines) skip triage —
+// the metric and figure diffs still gate them.
+func (r *Result) triage(a, b *report.Report) {
+	if len(a.Spans) == 0 && len(b.Spans) == 0 {
+		return
+	}
+	d := firstSpanDivergence(a.Spans, b.Spans)
+	if d == nil {
+		r.Compared++
+		r.Unchanged++
+		return
+	}
+	r.Compared++
+	r.Determinism = d
+	r.Findings = append(r.Findings, Finding{
+		Kind:    "determinism",
+		Verdict: VerdictRegressed,
+		Key:     fmt.Sprintf("span/%d", d.Index),
+		Detail:  d.String(),
+	})
+}
+
+// spanFields compares one record pair field by field, most-diagnostic
+// first, and names the first disagreement.
+var spanFields = []struct {
+	name string
+	get  func(report.SpanRecord) string
+}{
+	{"start_us", func(s report.SpanRecord) string { return fmt.Sprintf("%.3f", s.StartUs) }},
+	{"phase", func(s report.SpanRecord) string { return s.Name }},
+	{"dur_us", func(s report.SpanRecord) string { return fmt.Sprintf("%.3f", s.DurUs) }},
+	{"node", func(s report.SpanRecord) string { return s.Node }},
+	{"error", func(s report.SpanRecord) string { return s.Error }},
+	{"trace_id", func(s report.SpanRecord) string { return s.TraceID }},
+	{"span_id", func(s report.SpanRecord) string { return s.SpanID }},
+	{"function", func(s report.SpanRecord) string { return s.Function }},
+}
+
+// firstSpanDivergence returns the earliest disagreement between two
+// virtual-time-ordered span lists, or nil when they match exactly.
+func firstSpanDivergence(a, b []report.SpanRecord) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		for _, f := range spanFields {
+			av, bv := f.get(a[i]), f.get(b[i])
+			if av == bv {
+				continue
+			}
+			return &Divergence{
+				Index:     i,
+				Field:     f.name,
+				Base:      av,
+				New:       bv,
+				TraceID:   a[i].TraceID,
+				SpanID:    a[i].SpanID,
+				Phase:     a[i].Name,
+				Node:      a[i].Node,
+				VirtualUs: a[i].StartUs,
+			}
+		}
+	}
+	switch {
+	case len(a) > len(b):
+		s := a[n]
+		return &Divergence{
+			Index: n, Field: "missing span", Base: "present", New: "absent",
+			TraceID: s.TraceID, SpanID: s.SpanID, Phase: s.Name, Node: s.Node, VirtualUs: s.StartUs,
+		}
+	case len(b) > len(a):
+		s := b[n]
+		return &Divergence{
+			Index: n, Field: "extra span", Base: "absent", New: "present",
+			TraceID: s.TraceID, SpanID: s.SpanID, Phase: s.Name, Node: s.Node, VirtualUs: s.StartUs,
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// BuildReport bundles a finished experiment batch into a trenv-report/v1
+// artifact: the rendered figure rows, plus — when the options carried a
+// recorder set or tracer — per-run end-state metrics, sampled series,
+// the flattened span list, and trace analytics.
+//
+// The source embeds the experiment ID list, so a fig17 bundle refuses
+// comparison against a fig22 bundle (different workloads answer
+// nothing). lean produces a committed-baseline-sized bundle: spans and
+// sampled series are omitted (full bundles at paper scale carry
+// hundreds of thousands of spans and megabytes of series), keeping the
+// figure rows, per-run end-state metrics, and trace analytics —
+// everything kept is deterministic per seed/scale, so lean baselines
+// equality-gate.
+func BuildReport(ids []string, o Options, results []*Result, lean bool) *report.Report {
+	o = o.normalize()
+	r := report.New("experiments/"+strings.Join(ids, ","), o.Seed, o.Scale)
+	if o.Prefetch {
+		r.SetFlag("prefetch", "on")
+	}
+	if o.Chaos != nil && !o.Chaos.Empty() {
+		r.SetFlag("chaos", "on")
+	}
+	for _, res := range results {
+		if res != nil {
+			r.AddFigure(res.ID, res.Title, res.Lines)
+		}
+	}
+	if o.Recorders != nil {
+		if lean {
+			o.Recorders.Each(func(run string, rec *obs.Recorder) {
+				r.AddMetrics(run, rec.Registry())
+			})
+		} else {
+			r.AddRecorderSet(o.Recorders, report.DefaultMaxPoints)
+		}
+	}
+	if o.Tracer != nil {
+		roots := o.Tracer.Spans()
+		if !lean {
+			r.AddSpans(roots)
+		}
+		r.Analyze(roots, 0)
+	}
+	return r
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/report"
+)
+
+// buildFig22 runs Fig22 with full observability and bundles it.
+func buildFig22(t *testing.T, lean bool) *report.Report {
+	t.Helper()
+	o := Options{
+		Seed:      5,
+		Scale:     0.02,
+		Tracer:    obs.NewTracer(0),
+		Recorders: obs.NewRecorderSet(0, 0),
+	}
+	res := Fig22(o)
+	return BuildReport([]string{"fig22"}, o, []*Result{res}, lean)
+}
+
+func TestBuildReportBundlesFigureRuns(t *testing.T) {
+	r := buildFig22(t, false)
+	if r.Source != "experiments/fig22" || r.Seed != 5 || r.Scale != 0.02 {
+		t.Fatalf("identity = %q/%d/%g", r.Source, r.Seed, r.Scale)
+	}
+	if len(r.Figures) != 1 || r.Figures[0].ID != "fig22" || len(r.Figures[0].Lines) == 0 {
+		t.Fatalf("figures = %+v", r.Figures)
+	}
+	if len(r.Metrics) == 0 || len(r.Series) == 0 || len(r.Spans) == 0 {
+		t.Fatalf("bundle incomplete: %d metrics, %d series, %d spans",
+			len(r.Metrics), len(r.Series), len(r.Spans))
+	}
+	if r.Analysis == nil || r.Analysis.Invocations == 0 {
+		t.Fatalf("analysis = %+v", r.Analysis)
+	}
+}
+
+func TestBuildReportLeanOmitsSpansAndSeries(t *testing.T) {
+	full := buildFig22(t, false)
+	lean := buildFig22(t, true)
+	if len(lean.Spans) != 0 || len(lean.Series) != 0 {
+		t.Fatalf("lean bundle carries %d spans, %d series", len(lean.Spans), len(lean.Series))
+	}
+	if len(lean.Metrics) != len(full.Metrics) {
+		t.Fatalf("lean metrics = %d, full = %d", len(lean.Metrics), len(full.Metrics))
+	}
+	if len(lean.Figures) != 1 || lean.Analysis == nil {
+		t.Fatal("lean bundle lost figures or analysis")
+	}
+}
+
+func TestBuildReportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := buildFig22(t, false).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildFig22(t, false).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed experiment bundles are not byte-identical")
+	}
+}

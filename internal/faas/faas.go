@@ -338,6 +338,13 @@ func (pl *Platform) PromotionCache() *mem.PromotionCache { return pl.promoCache 
 // NodeName returns the node label this platform stamps on spans.
 func (pl *Platform) NodeName() string { return pl.nodeName }
 
+// Policy returns the scheduling policy this platform runs — part of a
+// run report's identity.
+func (pl *Platform) Policy() Policy { return pl.cfg.Policy }
+
+// Seed returns the simulation seed the platform was built with.
+func (pl *Platform) Seed() int64 { return pl.cfg.Seed }
+
 // Engine exposes the simulation engine (for composing experiments).
 func (pl *Platform) Engine() *sim.Engine { return pl.eng }
 

@@ -147,6 +147,10 @@ func safeRate(delta float64, elapsed time.Duration) float64 {
 // Samples returns how many times Sample ran.
 func (r *Recorder) Samples() int64 { return r.samples }
 
+// Registry returns the registry this recorder samples — the report
+// builder gathers a run's end-state metrics through it.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
 // Series returns every recorded series sorted by key.
 func (r *Recorder) Series() []*TimeSeries {
 	out := make([]*TimeSeries, 0, len(r.order))
@@ -299,6 +303,13 @@ func (s *RecorderSet) Track(run string, reg *Registry) *Recorder {
 
 // Runs returns how many runs the set tracks.
 func (s *RecorderSet) Runs() int { return len(s.runs) }
+
+// Each visits every tracked run in the order it was added.
+func (s *RecorderSet) Each(fn func(run string, rec *Recorder)) {
+	for _, rr := range s.runs {
+		fn(rr.Run, rr.Rec)
+	}
+}
 
 type runJSON struct {
 	Run     string       `json:"run"`

@@ -24,6 +24,19 @@ import (
 // artifacts across layouts.
 const Schema = "trenv-selfbench/v1"
 
+// Default regression-gate tolerance bands, shared by internal/diff and
+// scripts/bench-compare.sh (via trenv-diff): wall-clock throughput
+// varies across machines, so its band is wide; allocations per event
+// are nearly machine-independent, so that band is tight.
+const (
+	// DefaultEventsTol is the fractional floor band on events_per_sec
+	// and invocations_per_sec (fresh may drop up to 30% below baseline).
+	DefaultEventsTol = 0.30
+	// DefaultAllocsTol is the fractional ceiling band on
+	// allocs_per_event (fresh may rise up to 20% above baseline).
+	DefaultAllocsTol = 0.20
+)
+
 // Counts are the deterministic work totals of one measured run — pure
 // functions of the seed, independent of the host's speed.
 type Counts struct {

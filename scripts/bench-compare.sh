@@ -4,9 +4,10 @@
 #
 #   sh scripts/bench-compare.sh BENCH_pr6.json fresh.json
 #
-# Reads the `aggregate` block of two `trenv-bench -selfbench` reports
-# (schema trenv-selfbench/v1; field layout is part of the schema, so a
-# JSON parser is not needed) and fails when the fresh run shows
+# Thin wrapper over cmd/trenv-diff, which applies the same gates this
+# script used to hand-roll in awk: two `trenv-bench -selfbench` reports
+# (schema trenv-selfbench/v1) fail the comparison when the fresh run
+# shows
 #
 #   - events_per_sec        below baseline by more than TRENV_EVENTS_TOL
 #   - invocations_per_sec   below baseline by more than TRENV_EVENTS_TOL
@@ -17,8 +18,12 @@
 # the band is wide; allocations per event are nearly machine-independent,
 # so the band is tight). The two artifacts must agree on schema, seed,
 # and scale — comparing different workloads is refused outright.
-# obs_overhead_pct is reported but not gated (it is a noisy difference
-# of two wall times).
+# trenv-diff additionally equality-gates the deterministic per-run work
+# counts: count drift means the workload changed, which is a different
+# failure than a slow host.
+#
+# Exit codes: 0 within tolerance, 1 regression or incomparable
+# artifacts, 2 usage error or unreadable/malformed artifact.
 set -u
 
 TRENV_EVENTS_TOL="${TRENV_EVENTS_TOL:-0.30}"
@@ -37,94 +42,42 @@ for f in "$baseline" "$fresh"; do
     fi
 done
 
-# agg_field FILE KEY — value of KEY inside the top-level "aggregate"
-# block (first match wins, search stops at the block's closing brace).
-agg_field() {
-    awk -v key="\"$2\"" '
-        /"aggregate": \{/ { inagg = 1; next }
-        inagg && /^  \}/ { exit }
-        inagg && index($0, key ":") {
-            v = $0
-            sub(/^[^:]*: */, "", v)
-            sub(/,$/, "", v)
-            print v
-            exit
-        }' "$1"
-}
+# Resolve artifact paths before changing to the repo root so relative
+# arguments keep working.
+case "$baseline" in /*) ;; *) baseline="$PWD/$baseline" ;; esac
+case "$fresh" in /*) ;; *) fresh="$PWD/$fresh" ;; esac
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
-# top_field FILE KEY — first occurrence of KEY in the file (top-level
-# identity fields precede every nested block in the schema).
-top_field() {
-    awk -v key="\"$2\"" '
-        index($0, key ":") {
-            v = $0
-            sub(/^[^:]*: */, "", v)
-            sub(/,$/, "", v)
-            gsub(/"/, "", v)
-            print v
-            exit
-        }' "$1"
-}
-
-require() { # NAME VALUE FILE
-    if [ -z "$2" ]; then
-        echo "bench-compare: $3 has no $1 field (not a selfbench artifact?)" >&2
-        exit 2
-    fi
-}
-
-fail=0
-
-for key in schema seed scale; do
-    b=$(top_field "$baseline" "$key")
-    f=$(top_field "$fresh" "$key")
-    require "$key" "$b" "$baseline"
-    require "$key" "$f" "$fresh"
-    if [ "$b" != "$f" ]; then
-        echo "FAIL $key mismatch: baseline $b vs fresh $f (artifacts are not comparable)" >&2
-        fail=1
-    fi
-done
-[ "$fail" -eq 0 ] || exit 1
-
-# gate NAME MODE TOL — MODE is `floor` (fail when fresh drops below
-# baseline*(1-TOL)) or `ceil` (fail when fresh rises above
-# baseline*(1+TOL)).
-gate() {
-    name=$1 mode=$2 tol=$3
-    b=$(agg_field "$baseline" "$name")
-    f=$(agg_field "$fresh" "$name")
-    require "$name" "$b" "$baseline"
-    require "$name" "$f" "$fresh"
-    awk -v b="$b" -v f="$f" -v tol="$tol" -v name="$name" -v mode="$mode" 'BEGIN {
-        if (b <= 0) { printf "ok   %-22s baseline %.4g not gateable\n", name, b; exit 0 }
-        if (mode == "floor") {
-            bound = b * (1 - tol)
-            bad = (f < bound)
-            rel = (f - b) / b * 100
-            word = "floor"
-        } else {
-            bound = b * (1 + tol)
-            bad = (f > bound)
-            rel = (f - b) / b * 100
-            word = "ceiling"
-        }
-        if (bad) {
-            printf "FAIL %-22s %.4g vs baseline %.4g (%+.1f%%, %s %.4g)\n", name, f, b, rel, word, bound
-            exit 1
-        }
-        printf "ok   %-22s %.4g vs baseline %.4g (%+.1f%%, %s %.4g)\n", name, f, b, rel, word, bound
-    }' || fail=1
-}
-
-gate events_per_sec floor "$TRENV_EVENTS_TOL"
-gate invocations_per_sec floor "$TRENV_EVENTS_TOL"
-gate allocs_per_event ceil "$TRENV_ALLOCS_TOL"
-
-echo "info obs_overhead_pct       baseline $(agg_field "$baseline" obs_overhead_pct) vs fresh $(agg_field "$fresh" obs_overhead_pct) (not gated)"
-
-if [ "$fail" -ne 0 ]; then
-    echo "bench-compare: FAILED ($fresh regressed against $baseline)" >&2
-    exit 1
+# Build then exec: `go run` flattens every non-zero exit to 1, which
+# would erase trenv-diff's distinction between "regressed" (1) and
+# "refuses comparison" (3).
+bin=$(mktemp -t trenv-diff.XXXXXX)
+trap 'rm -f "$bin"' EXIT
+if ! (cd "$repo_root" && go build -o "$bin" ./cmd/trenv-diff); then
+    echo "bench-compare: cannot build trenv-diff" >&2
+    exit 2
 fi
-echo "bench-compare: ok ($fresh within tolerance of $baseline)"
+
+"$bin" -events-tol "$TRENV_EVENTS_TOL" -allocs-tol "$TRENV_ALLOCS_TOL" \
+    "$baseline" "$fresh"
+code=$?
+
+case "$code" in
+0)
+    echo "bench-compare: ok ($fresh within tolerance of $baseline)"
+    ;;
+1)
+    echo "bench-compare: FAILED ($fresh regressed against $baseline)" >&2
+    ;;
+3)
+    # trenv-diff's "artifacts refuse comparison" code; this script's
+    # historical contract reports that as a plain failure.
+    echo "bench-compare: FAILED ($fresh is not comparable to $baseline)" >&2
+    code=1
+    ;;
+*)
+    echo "bench-compare: error comparing $fresh against $baseline" >&2
+    code=2
+    ;;
+esac
+exit "$code"

@@ -9,7 +9,9 @@
 #   4. every flag cmd/trenvd defines appears in README.md's trenvd
 #      flag list;
 #   5. every flag cmd/trenv-trace defines appears in its own command
-#      comment (the godoc usage block).
+#      comment (the godoc usage block);
+#   6. every flag cmd/trenv-diff defines appears in README.md's
+#      trenv-diff flag table.
 # Exits non-zero listing everything that is missing.
 set -eu
 
@@ -67,6 +69,17 @@ tflags=$(sed -n 's/.*flag\.\(Bool\|String\|Int64\|Int\|Float64\|Duration\)("\([a
 for f in $tflags; do
     if ! grep "^//" cmd/trenv-trace/main.go | grep -q -- "-$f"; then
         echo "trenv-trace flag undocumented in its command comment: -$f" >&2
+        fail=1
+    fi
+done
+
+# trenv-diff declares flags on a flag.FlagSet (fs.Float64 etc.), so the
+# pattern matches any receiver, not just the package-level flag.X form.
+gflags=$(sed -n 's/.*\.\(Bool\|String\|Int64\|Int\|Float64\|Duration\)("\([a-z-]*\)".*/\2/p' cmd/trenv-diff/main.go | sort -u)
+[ -n "$gflags" ] || { echo "found no flags in cmd/trenv-diff/main.go" >&2; exit 1; }
+for f in $gflags; do
+    if ! grep -q -- "\`-$f" README.md; then
+        echo "trenv-diff flag undocumented in README.md: -$f" >&2
         fail=1
     fi
 done

@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/cluster"
+	"repro/internal/diff"
 	"repro/internal/experiments"
 	"repro/internal/faas"
 	"repro/internal/fault"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pagetable"
 	"repro/internal/prefetch"
+	"repro/internal/report"
 	"repro/internal/selfbench"
 	"repro/internal/sim"
 	"repro/internal/snapshot"
@@ -573,4 +575,68 @@ func Version() string { return obs.Version() }
 // (constant 1; go_version and module version in the labels).
 func RegisterBuildInfo(reg *MetricsRegistry, labels map[string]string) {
 	obs.RegisterBuildInfo(reg, labels)
+}
+
+// ---------------------------------------------------------------------
+// Run reports and differential analysis (see internal/report and
+// internal/diff; cmd/trenv-diff is the CLI).
+
+// RunReport is the schema-stable trenv-report/v1 bundle: run identity
+// (seed, scale, flags, build version), gathered metrics, flight-recorder
+// series, figure rows, trace analytics, and a virtual-time-ordered span
+// list. Same seed => byte-identical bundles.
+type RunReport = report.Report
+
+// RunReportSchema identifies the bundle layout.
+const RunReportSchema = report.Schema
+
+// NewRunReport returns an empty bundle stamped with the run's identity.
+func NewRunReport(source string, seed int64, scale float64) *RunReport {
+	return report.New(source, seed, scale)
+}
+
+// RunReportFromPlatform bundles a finished single-node run.
+func RunReportFromPlatform(source string, scale float64, pl *ContainerPlatform) *RunReport {
+	return report.FromPlatform(source, scale, pl)
+}
+
+// RunReportFromCluster bundles a finished rack run (tracer may be nil).
+func RunReportFromCluster(source string, scale float64, c *Cluster, tracer *Tracer) *RunReport {
+	return report.FromCluster(source, scale, c, tracer)
+}
+
+// RunReportFromSelfBench converts a wall-clock self-benchmark report
+// into a bundle whose Bench block trenv-diff tolerance-gates.
+func RunReportFromSelfBench(sb *SelfBenchReport) *RunReport { return report.FromSelfbench(sb) }
+
+// ReadRunReport parses the trenv-report/v1 bundle at path.
+func ReadRunReport(path string) (*RunReport, error) { return report.ReadFile(path) }
+
+// LoadRunArtifact reads any comparable artifact — a trenv-report/v1
+// bundle or a trenv-selfbench/v1 report (converted, keeping its schema
+// so the two kinds refuse to cross-compare).
+func LoadRunArtifact(path string) (*RunReport, error) { return diff.LoadFile(path) }
+
+// DiffOptions tune a report comparison (tolerance bands).
+type DiffOptions = diff.Options
+
+// DiffResult is a ranked comparison outcome: gates, findings, and — for
+// same-seed span-carrying pairs — the first divergent span.
+type DiffResult = diff.Result
+
+// DiffFinding is one attributed difference between two reports.
+type DiffFinding = diff.Finding
+
+// DiffDivergence names the first span where two same-seed runs disagree.
+type DiffDivergence = diff.Divergence
+
+// DiffMismatchError reports artifacts that refuse comparison (schema,
+// source, seed, or scale disagree).
+type DiffMismatchError = diff.MismatchError
+
+// CompareRunReports diffs fresh against base. Incomparable pairs return
+// *DiffMismatchError; every other outcome is a DiffResult whose
+// Regressed method answers "should this fail a gate".
+func CompareRunReports(base, fresh *RunReport, o DiffOptions) (*DiffResult, error) {
+	return diff.Compare(base, fresh, o)
 }
