@@ -7,7 +7,7 @@
 //	            [-json] [-trace out.json] [-timeseries out.json]
 //	            [-analyze report.json] [-flame out.folded]
 //	            [-report bundle.json] [-report-lean]
-//	            [-chaos spec] [-prefetch]
+//	            [-chaos spec] [-prefetch] [-alerts out.json] [-rules spec]
 //	trenv-bench -selfbench report.json [-seed N] [-scale F]
 //	trenv-bench -version
 //
@@ -31,6 +31,14 @@
 // bundles. -report-lean shrinks the bundle to committed-baseline size
 // (spans and sampled series omitted); combined with -selfbench,
 // -report converts the wall-clock artifact into a bundle instead.
+//
+// -alerts attaches the alert engine to every run (one engine per run,
+// evaluated on the virtual clock at each flight-recorder sample) and
+// writes the per-run alert states, incidents, and transition timelines
+// as JSON; -rules overrides the built-in rule set with a compact spec
+// or @file (grammar in internal/alert). Alerts also embed in -report
+// bundles, where cmd/trenv-diff compares them against a baseline.
+// Same-seed runs write byte-identical alert JSON.
 //
 // -selfbench switches to the wall-clock self-benchmark: instead of
 // paper figures it measures the simulator itself (events/sec,
@@ -103,6 +111,8 @@ func main() {
 	flamePath := flag.String("flame", "", "write recorded spans as folded flamegraph stacks to this file")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of text")
 	chaosSpec := flag.String("chaos", "", "fault-injection spec applied to every run, e.g. 'outage:cxl:10s-20s,flaky:rdma:0.2:burst=3,crash:n1:30s'")
+	alertsPath := flag.String("alerts", "", "attach the alert engine to every run and write per-run alert states, incidents, and timelines as JSON to this file")
+	rulesSpec := flag.String("rules", "", "with -alerts or -report: alerting rules as a compact spec or @file (empty = built-in default set)")
 	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching on every TrEnv platform the experiments build")
 	selfbenchPath := flag.String("selfbench", "", "run the wall-clock self-benchmark suite instead of experiments and write the report JSON to this file ('-' for stdout)")
 	reportPath := flag.String("report", "", "write the schema-stable trenv-report/v1 run bundle (figures, metrics, series, spans, analysis) to this file")
@@ -153,6 +163,22 @@ func main() {
 			os.Exit(2)
 		}
 		o.Chaos = &sc
+	}
+	if *alertsPath != "" || *rulesSpec != "" {
+		rules := trenv.DefaultAlertRules()
+		if *rulesSpec != "" {
+			var err error
+			rules, err = trenv.LoadAlertRules(*rulesSpec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trenv-bench: -rules: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		o.Alerts = trenv.NewAlertSet(rules)
+		if o.Recorders == nil {
+			// Alert evaluation rides the flight-recorder sampler.
+			o.Recorders = obs.NewRecorderSet(0, 0)
+		}
 	}
 	var ids []string
 	if *exp == "all" {
@@ -262,6 +288,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "trenv-bench: wrote time series for %d runs to %s\n",
 			o.Recorders.Runs(), *tsPath)
+	}
+	if *alertsPath != "" {
+		f, err := os.Create(*alertsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := o.Alerts.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trenv-bench: write alerts: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: close alerts: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trenv-bench: wrote alert states for %d runs to %s\n",
+			o.Alerts.Runs(), *alertsPath)
 	}
 	if *reportPath != "" {
 		rep := experiments.BuildReport(ids, o, results, *reportLean)

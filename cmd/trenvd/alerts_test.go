@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	trenv "repro"
+)
+
+type alertsDoc struct {
+	Evals  int64 `json:"evals"`
+	Firing int   `json:"firing"`
+	Fired  int64 `json:"fired"`
+	Rules  []struct {
+		Name  string `json:"name"`
+		Spec  string `json:"spec"`
+		State string `json:"state"`
+	} `json:"rules"`
+	Incidents []json.RawMessage `json:"incidents"`
+	Timeline  []json.RawMessage `json:"timeline"`
+}
+
+func TestAlertsEndpointServesEngineSnapshot(t *testing.T) {
+	ts := testServer(t)
+	deployAndInvoke(t, ts.URL)
+
+	raw := getOK(t, ts.URL+"/alerts")
+	var doc alertsDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("alerts not JSON: %v\n%s", err, raw)
+	}
+	if len(doc.Rules) != len(trenv.DefaultAlertRules()) {
+		t.Fatalf("rules = %d, want the default set", len(doc.Rules))
+	}
+	if doc.Evals == 0 {
+		t.Fatal("invoking pumped the recorder but the engine never evaluated")
+	}
+	for _, r := range doc.Rules {
+		if r.Name == "" || r.Spec == "" || r.State == "" {
+			t.Fatalf("incomplete rule record: %+v", r)
+		}
+	}
+}
+
+func TestAlertsCustomRulesFlagWiring(t *testing.T) {
+	rules, err := loadRules("absence:ghost:no_such_series:1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServerWith(serverOptions{policy: trenv.TrEnvCXL, seed: 1, rules: rules})
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(ts.Close)
+	deployAndInvoke(t, ts.URL)
+
+	var doc alertsDoc
+	if err := json.Unmarshal(getOK(t, ts.URL+"/alerts"), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rules) != 1 || doc.Rules[0].Name != "ghost" {
+		t.Fatalf("rules = %+v", doc.Rules)
+	}
+	// The watched series never exists, so the rule fires and healthz
+	// and /metrics surface it.
+	if doc.Rules[0].State != "firing" || doc.Firing != 1 {
+		t.Fatalf("ghost rule state = %s firing = %d", doc.Rules[0].State, doc.Firing)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(getOK(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["alerts_firing"].(float64) != 1 {
+		t.Fatalf("healthz alerts_firing = %v", health["alerts_firing"])
+	}
+	metrics := string(getOK(t, ts.URL+"/metrics"))
+	if !strings.Contains(metrics, "trenv_alerts_firing 1") {
+		t.Fatalf("metrics missing firing gauge:\n%s", metrics)
+	}
+}
+
+func TestLoadRulesFlagForms(t *testing.T) {
+	if rules, err := loadRules("default"); err != nil || len(rules) != len(trenv.DefaultAlertRules()) {
+		t.Fatalf("default: %v %d", err, len(rules))
+	}
+	for _, arg := range []string{"", "none"} {
+		if rules, err := loadRules(arg); err != nil || len(rules) != 0 {
+			t.Fatalf("%q: %v %d", arg, err, len(rules))
+		}
+	}
+	if _, err := loadRules("threshold:broken"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+}
+
+func TestAlertsByteIdenticalAcrossSameSeedServers(t *testing.T) {
+	a := testServer(t)
+	deployAndInvoke(t, a.URL)
+	b := testServer(t)
+	deployAndInvoke(t, b.URL)
+
+	// With the engine attached by default, every deterministic export —
+	// alerts included — must agree across same-seed daemons.
+	for _, path := range []string{"/alerts", "/metrics", "/trace", "/analyze", "/report"} {
+		if !bytes.Equal(getOK(t, a.URL+path), getOK(t, b.URL+path)) {
+			t.Fatalf("%s differs across same-seed servers", path)
+		}
+	}
+}
+
+func TestHealthzReportsAlertsFiring(t *testing.T) {
+	ts := testServer(t)
+	var health map[string]any
+	if err := json.Unmarshal(getOK(t, ts.URL+"/healthz"), &health); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := health["alerts_firing"]; !ok {
+		t.Fatalf("healthz missing alerts_firing: %v", health)
+	}
+}
+
+// TestEveryRouteRejectsUnsupportedMethods audits the route table from
+// the source itself: every method-qualified route in mux() must also
+// register a methodNotAllowed fallback, and unsupported methods must
+// get the same JSON 405 with an Allow header on every endpoint — the
+// newest routes included.
+func TestEveryRouteRejectsUnsupportedMethods(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	methodRe := regexp.MustCompile(`mux\.HandleFunc\("(GET|POST) (/[^"]*)"`)
+	fallbackRe := regexp.MustCompile(`mux\.HandleFunc\("(/[^"]*)", methodNotAllowed\(`)
+
+	allowed := map[string]map[string]bool{}
+	for _, m := range methodRe.FindAllStringSubmatch(string(src), -1) {
+		if allowed[m[2]] == nil {
+			allowed[m[2]] = map[string]bool{}
+		}
+		allowed[m[2]][m[1]] = true
+	}
+	fallbacks := map[string]bool{}
+	for _, m := range fallbackRe.FindAllStringSubmatch(string(src), -1) {
+		fallbacks[m[1]] = true
+	}
+	if len(allowed) < 10 {
+		t.Fatalf("route audit parsed only %d routes — regexp drifted from mux()", len(allowed))
+	}
+	paths := make([]string, 0, len(allowed))
+	for p := range allowed {
+		if !fallbacks[p] {
+			t.Errorf("route %s has no methodNotAllowed fallback", p)
+		}
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	ts := testServer(t)
+	for _, path := range paths {
+		for _, method := range []string{http.MethodDelete, http.MethodPut, http.MethodGet, http.MethodPost} {
+			if allowed[path][method] {
+				continue
+			}
+			req, err := http.NewRequest(method, ts.URL+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s status = %d, want 405", method, path, resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("%s %s content-type = %q, want application/json", method, path, ct)
+			}
+			allow := resp.Header.Get("Allow")
+			if allow == "" {
+				t.Fatalf("%s %s missing Allow header", method, path)
+			}
+			for m := range allowed[path] {
+				if !strings.Contains(allow, m) {
+					t.Fatalf("%s %s Allow = %q missing %s", method, path, allow, m)
+				}
+			}
+			var out map[string]string
+			if err := json.Unmarshal(body, &out); err != nil || out["error"] == "" {
+				t.Fatalf("%s %s body not a JSON error: %s", method, path, body)
+			}
+		}
+	}
+}

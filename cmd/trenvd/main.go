@@ -7,7 +7,7 @@
 //
 //	trenvd [-addr :8080] [-policy trenv-cxl] [-seed 1] [-node n0]
 //	       [-slo-target-ms 0] [-slo-objective 0.99] [-sample-ms 100]
-//	       [-prefetch] [-promote-threshold 0] [-pprof]
+//	       [-prefetch] [-promote-threshold 0] [-pprof] [-rules <spec>]
 //	trenvd -version
 //
 // -node labels every exported series (node="n0") so several trenvd
@@ -20,8 +20,10 @@
 // many times into the node's direct-access cache; -pprof additionally
 // serves Go's net/http/pprof profiles under /debug/pprof/ (off by
 // default — profiling is wall-clock-side only and never perturbs the
-// deterministic virtual-time exports); -version prints the build and
-// exits.
+// deterministic virtual-time exports); -rules loads alerting rules (a
+// compact spec, "@file" to read one clause per line, or "default" for
+// the built-in set) evaluated on every flight-recorder sample and
+// served on /alerts; -version prints the build and exits.
 //
 // Endpoints:
 //
@@ -44,6 +46,9 @@
 //	                           analytics) for cmd/trenv-diff comparison
 //	GET  /experiments          list experiment IDs
 //	POST /experiments/run      {"id":"fig23","scale":0.2} regenerate one
+//	GET  /alerts               alert-engine snapshot: rule states,
+//	                           captured incidents with trace links, and
+//	                           the virtual-time transition timeline
 //	GET  /selfstats            wall-clock engine stats: uptime, events
 //	                           executed, events/sec of wall time, heap
 //	                           and GC readings, build identity
@@ -86,6 +91,7 @@ type server struct {
 	registry *trenv.MetricsRegistry
 	recorder *trenv.FlightRecorder
 	recEvery time.Duration
+	alertEng *trenv.AlertEngine // evaluated on every flight-recorder sample
 	deployed map[string]bool
 	now      time.Duration // virtual time high-water mark
 	seed     int64
@@ -107,11 +113,13 @@ type serverOptions struct {
 	prefetch     bool          // working-set prefetching (TrEnv policies only)
 	promoteAfter int           // replay count that promotes a run (0 = never)
 	pprof        bool          // serve net/http/pprof under /debug/pprof/
+	rules        []trenv.AlertRule
 }
 
-// newServer builds the control plane over a fresh simulated platform.
+// newServer builds the control plane over a fresh simulated platform
+// with the built-in alert rules, matching the -rules flag default.
 func newServer(policy trenv.ContainerPolicy, seed int64) *server {
-	return newServerWith(serverOptions{policy: policy, seed: seed})
+	return newServerWith(serverOptions{policy: policy, seed: seed, rules: trenv.DefaultAlertRules()})
 }
 
 func newServerWith(o serverOptions) *server {
@@ -145,12 +153,20 @@ func newServerWith(o serverOptions) *server {
 	trenv.RegisterSchedulerTraceLog(reg, labels, pl.Engine().AttachTraceLog(4096))
 	trenv.RegisterTracerDrops(reg, labels, tracer)
 	trenv.RegisterBuildInfo(reg, labels)
+	recorder := trenv.NewFlightRecorder(reg, 0)
+	alerts := trenv.NewAlertEngine(o.rules)
+	alerts.RegisterMetrics(reg, labels)
+	pl.AttachAlerts(alerts) // wires the tracer and SLO into incident capture
+	// The invoke handler pumps the recorder by hand (no RunTrace here),
+	// so bind evaluation to the sampler directly.
+	alerts.Observe(recorder)
 	return &server{
 		platform: pl,
 		tracer:   tracer,
 		registry: reg,
-		recorder: trenv.NewFlightRecorder(reg, 0),
+		recorder: recorder,
 		recEvery: o.sampleEvery,
+		alertEng: alerts,
 		deployed: make(map[string]bool),
 		seed:     o.seed,
 		breaker:  breaker,
@@ -188,6 +204,8 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/experiments", methodNotAllowed("GET"))
 	mux.HandleFunc("POST /experiments/run", s.runExperiment)
 	mux.HandleFunc("/experiments/run", methodNotAllowed("POST"))
+	mux.HandleFunc("GET /alerts", s.alerts)
+	mux.HandleFunc("/alerts", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /selfstats", s.selfstats)
 	mux.HandleFunc("/selfstats", methodNotAllowed("GET"))
 	mux.HandleFunc("GET /healthz", s.healthz)
@@ -218,6 +236,19 @@ func methodNotAllowed(allowed ...string) http.HandlerFunc {
 	}
 }
 
+// loadRules resolves the -rules flag: the built-in set by default,
+// "none" for an empty engine, "@file" for a rule file, anything else
+// parsed as a compact spec.
+func loadRules(arg string) ([]trenv.AlertRule, error) {
+	switch arg {
+	case "default":
+		return trenv.DefaultAlertRules(), nil
+	case "", "none":
+		return nil, nil
+	}
+	return trenv.LoadAlertRules(arg)
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	policy := flag.String("policy", string(trenv.TrEnvCXL), "platform policy")
@@ -228,6 +259,7 @@ func main() {
 	sampleMS := flag.Int("sample-ms", 0, "flight-recorder sampling interval in virtual ms (0 = default)")
 	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching (TrEnv policies only)")
 	promoteAfter := flag.Int("promote-threshold", 0, "replay count that promotes a working set into the direct-access cache (0 = never; needs -prefetch)")
+	rulesSpec := flag.String("rules", "default", "alerting rules: a spec string, @file, \"default\" for the built-in set, or \"none\"")
 	drain := flag.Duration("drain-timeout", 5*time.Second, "bounded drain window for graceful shutdown on SIGINT/SIGTERM")
 	pprofOn := flag.Bool("pprof", false, "serve Go net/http/pprof profiles under /debug/pprof/")
 	version := flag.Bool("version", false, "print version and exit")
@@ -236,6 +268,12 @@ func main() {
 	if *version {
 		fmt.Printf("trenvd %s %s %s/%s\n", trenv.Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
 		return
+	}
+
+	rules, err := loadRules(*rulesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trenvd:", err)
+		os.Exit(2)
 	}
 
 	s := newServerWith(serverOptions{
@@ -248,6 +286,7 @@ func main() {
 		prefetch:     *prefetch,
 		promoteAfter: *promoteAfter,
 		pprof:        *pprofOn,
+		rules:        rules,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -554,6 +593,7 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 	}
 	rep.AddMetrics("", s.registry)
 	rep.AddRecorder("", s.recorder, 0)
+	rep.AddAlerts("", s.alertEng)
 	roots := s.tracer.Spans()
 	rep.AddSpans(roots)
 	rep.Analyze(roots, 0)
@@ -567,6 +607,24 @@ func (s *server) report(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(buf.Bytes()); err != nil {
 		log.Printf("trenvd: write report: %v", err)
+	}
+}
+
+// alerts serves the alert-engine snapshot: per-rule state and spec,
+// captured incidents with their trace links, and the virtual-time
+// transition timeline. Deterministic for a given seed and rule set.
+func (s *server) alerts(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var buf bytes.Buffer
+	err := s.alertEng.WriteJSON(&buf)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("trenvd: write alerts: %v", err)
 	}
 }
 
@@ -647,8 +705,9 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 			"state": s.breaker.State().String(),
 			"opens": s.breaker.Opens(),
 		},
-		"pools":       pools,
-		"chaos_armed": s.chaos != nil,
+		"pools":         pools,
+		"chaos_armed":   s.chaos != nil,
+		"alerts_firing": s.alertEng.Firing(),
 	})
 }
 

@@ -130,7 +130,7 @@ func TestExperimentEndpoints(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&ids); err != nil {
 		t.Fatal(err)
 	}
-	if len(ids) != 20 {
+	if len(ids) != 21 {
 		t.Fatalf("experiments = %d", len(ids))
 	}
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/faas"
 	"repro/internal/fault"
 	"repro/internal/mem"
@@ -42,6 +43,7 @@ type Cluster struct {
 
 	recorder *obs.Recorder
 	recEvery time.Duration
+	alerts   *alert.Engine
 	seed     int64
 }
 
@@ -272,6 +274,25 @@ func (c *Cluster) AttachRecorder(rec *obs.Recorder, every time.Duration) {
 	c.recEvery = every
 }
 
+// AttachAlerts binds an alert engine to the rack: it evaluates on the
+// attached recorder's sampling instants (bound when RunTrace starts),
+// links incidents through the rack's shared tracer, and watches every
+// node's SLO tracker. Attach before RunTrace, alongside AttachRecorder
+// — without a recorder nothing drives evaluation.
+func (c *Cluster) AttachAlerts(ae *alert.Engine) {
+	c.alerts = ae
+	// Nodes share one tracer when Config.Tracer was set; the first
+	// node's view covers the rack.
+	ae.SetTracer(c.nodes[0].Tracer())
+	for _, node := range c.nodes {
+		ae.AddSLO(node.SLO())
+	}
+}
+
+// Alerts returns the attached alert engine (nil unless AttachAlerts was
+// called).
+func (c *Cluster) Alerts() *alert.Engine { return c.alerts }
+
 // active returns the invocations in flight across the rack.
 func (c *Cluster) active() int {
 	n := 0
@@ -287,6 +308,9 @@ func (c *Cluster) RunTrace(tr workload.Trace) {
 		c.Invoke(inv.At, inv.Function)
 	}
 	if c.recorder != nil {
+		if c.alerts != nil {
+			c.alerts.Observe(c.recorder)
+		}
 		end := tr.Duration()
 		c.recorder.PumpWhile(c.eng, c.recEvery, func() bool {
 			return c.eng.Now() < end || c.active() > 0

@@ -1,0 +1,144 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func alertRecord(rule, state string, fired int64) report.AlertRecord {
+	ar := report.AlertRecord{
+		Rule:  rule,
+		Kind:  "rate",
+		Spec:  "rate:" + rule + ":trenv_errors_total:>0.5",
+		State: state,
+		Fired: fired,
+	}
+	if fired > 0 {
+		ar.Incidents = []report.AlertIncident{{
+			ID: "inc1", Detail: "trenv_errors_total = 2/s over 5s > 0.5/s",
+			PendingMS: 1000, FiringMS: 3000, TraceIDs: []string{"t1"},
+		}}
+	}
+	return ar
+}
+
+func findAlert(t *testing.T, res *Result, key string) Finding {
+	t.Helper()
+	for _, f := range res.Findings {
+		if f.Kind == "alert" && f.Key == key {
+			return f
+		}
+	}
+	t.Fatalf("no alert finding %s in %+v", key, res.Findings)
+	return Finding{}
+}
+
+func TestAlertsUnchanged(t *testing.T) {
+	base := mkReport()
+	base.Alerts = []report.AlertRecord{alertRecord("errs", "inactive", 1)}
+	res, err := Compare(base, clone(t, base), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		if f.Kind == "alert" {
+			t.Fatalf("identical alerts produced finding %+v", f)
+		}
+	}
+}
+
+func TestAlertNewlyFiringRegresses(t *testing.T) {
+	base := mkReport()
+	base.Alerts = []report.AlertRecord{alertRecord("errs", "inactive", 0)}
+	fresh := clone(t, base)
+	fresh.Alerts = []report.AlertRecord{alertRecord("errs", "firing", 1)}
+	res, err := Compare(base, fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findAlert(t, res, "alert/errs")
+	if f.Verdict != VerdictRegressed {
+		t.Fatalf("verdict = %s, want regressed", f.Verdict)
+	}
+	if !strings.Contains(f.Detail, "now firing") || !strings.Contains(f.Detail, "trace t1") {
+		t.Fatalf("detail = %q, want firing note with trace link", f.Detail)
+	}
+	if !res.Regressed() {
+		t.Fatal("newly firing alert must fail the regression gate")
+	}
+}
+
+func TestAlertResolvedImproves(t *testing.T) {
+	base := mkReport()
+	base.Alerts = []report.AlertRecord{alertRecord("errs", "firing", 1)}
+	fresh := clone(t, base)
+	fresh.Alerts = []report.AlertRecord{alertRecord("errs", "inactive", 1)}
+	res, err := Compare(base, fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findAlert(t, res, "alert/errs"); f.Verdict != VerdictImproved {
+		t.Fatalf("verdict = %s, want improved", f.Verdict)
+	}
+}
+
+func TestAlertFiredCountDelta(t *testing.T) {
+	base := mkReport()
+	base.Alerts = []report.AlertRecord{alertRecord("errs", "inactive", 1)}
+	fresh := clone(t, base)
+	fresh.Alerts = []report.AlertRecord{alertRecord("errs", "inactive", 3)}
+	res, err := Compare(base, fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findAlert(t, res, "alert/errs")
+	if f.Verdict != VerdictRegressed || f.Base != 1 || f.New != 3 {
+		t.Fatalf("finding = %+v, want regressed 1 -> 3", f)
+	}
+}
+
+func TestAlertRuleAddedAndRemoved(t *testing.T) {
+	base := mkReport()
+	base.Alerts = []report.AlertRecord{alertRecord("old", "inactive", 0)}
+	fresh := clone(t, base)
+	fresh.Alerts = []report.AlertRecord{
+		alertRecord("quiet", "inactive", 0),
+		alertRecord("loud", "firing", 2),
+	}
+	res, err := Compare(base, fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findAlert(t, res, "alert/old"); f.Verdict != VerdictMissing {
+		t.Fatalf("removed rule verdict = %s, want missing", f.Verdict)
+	}
+	if f := findAlert(t, res, "alert/quiet"); f.Verdict != VerdictNew {
+		t.Fatalf("new quiet rule verdict = %s, want new", f.Verdict)
+	}
+	f := findAlert(t, res, "alert/loud")
+	if f.Verdict != VerdictRegressed {
+		t.Fatalf("new firing rule verdict = %s, want regressed", f.Verdict)
+	}
+	if !strings.Contains(f.Detail, "new rule fired") {
+		t.Fatalf("detail = %q", f.Detail)
+	}
+}
+
+func TestAlertKeyIncludesRun(t *testing.T) {
+	base := mkReport()
+	ar := alertRecord("errs", "inactive", 0)
+	ar.Run = "fig17/trenv-cxl"
+	base.Alerts = []report.AlertRecord{ar}
+	fresh := clone(t, base)
+	fresh.Alerts[0].State = "firing"
+	fresh.Alerts[0].Fired = 1
+	res, err := Compare(base, fresh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findAlert(t, res, "alert/fig17/trenv-cxl/errs"); f.Verdict != VerdictRegressed {
+		t.Fatalf("verdict = %s", f.Verdict)
+	}
+}

@@ -111,7 +111,7 @@ func (v Verdict) fails() bool { return v == VerdictRegressed || v == VerdictMiss
 
 // Finding is one attributed difference between the two reports.
 type Finding struct {
-	Kind     string  `json:"kind"` // metric, bench, attribution, critical-path, series, figure, identity, determinism
+	Kind     string  `json:"kind"` // metric, bench, attribution, critical-path, series, figure, alert, identity, determinism
 	Verdict  Verdict `json:"verdict"`
 	Key      string  `json:"key"`
 	Base     float64 `json:"base,omitempty"`
@@ -289,6 +289,7 @@ func Compare(base, fresh *report.Report, o Options) (*Result, error) {
 	res.compareAttribution(base, fresh, o)
 	res.compareCriticalPath(base, fresh)
 	res.compareSeries(base, fresh, o)
+	res.compareAlerts(base, fresh)
 	res.triage(base, fresh)
 	res.rankFindings()
 	return res, nil
@@ -658,6 +659,99 @@ func (r *Result) compareSeries(a, b *report.Report, o Options) {
 	for _, k := range keys {
 		r.Findings = append(r.Findings, Finding{Kind: "series", Verdict: VerdictNew, Key: k})
 	}
+}
+
+func alertKey(a report.AlertRecord) string {
+	if a.Run == "" {
+		return "alert/" + a.Rule
+	}
+	return "alert/" + a.Run + "/" + a.Rule
+}
+
+// compareAlerts diffs end-of-run alert states: a rule firing in the
+// fresh run but not in the baseline is a regression in its own right
+// (the run crossed an operator-facing line the baseline never did),
+// firing more often is worse, firing less or resolving is improvement.
+func (r *Result) compareAlerts(a, b *report.Report) {
+	bm := map[string]report.AlertRecord{}
+	for _, ar := range b.Alerts {
+		bm[alertKey(ar)] = ar
+	}
+	seen := map[string]bool{}
+	for _, aa := range a.Alerts {
+		k := alertKey(aa)
+		seen[k] = true
+		ba, ok := bm[k]
+		if !ok {
+			r.Findings = append(r.Findings, Finding{Kind: "alert", Verdict: VerdictMissing, Key: k,
+				Detail: fmt.Sprintf("rule %s no longer evaluated", aa.Spec)})
+			continue
+		}
+		r.Compared++
+		aFiring := aa.State == "firing"
+		bFiring := ba.State == "firing"
+		switch {
+		case !aFiring && bFiring:
+			r.Findings = append(r.Findings, Finding{
+				Kind: "alert", Verdict: VerdictRegressed, Key: k,
+				Base: float64(aa.Fired), New: float64(ba.Fired),
+				Detail: fmt.Sprintf("now firing (%s): %s", ba.Spec, lastIncidentDetail(ba)),
+			})
+		case aFiring && !bFiring:
+			r.Findings = append(r.Findings, Finding{
+				Kind: "alert", Verdict: VerdictImproved, Key: k,
+				Base: float64(aa.Fired), New: float64(ba.Fired),
+				Detail: fmt.Sprintf("no longer firing (%s)", ba.Spec),
+			})
+		case ba.Fired > aa.Fired:
+			r.Findings = append(r.Findings, Finding{
+				Kind: "alert", Verdict: VerdictRegressed, Key: k,
+				Base: float64(aa.Fired), New: float64(ba.Fired), DeltaPct: deltaPct(float64(aa.Fired), float64(ba.Fired)),
+				Detail: fmt.Sprintf("fired %d times vs %d (%s)", ba.Fired, aa.Fired, ba.Spec),
+			})
+		case ba.Fired < aa.Fired:
+			r.Findings = append(r.Findings, Finding{
+				Kind: "alert", Verdict: VerdictImproved, Key: k,
+				Base: float64(aa.Fired), New: float64(ba.Fired), DeltaPct: deltaPct(float64(aa.Fired), float64(ba.Fired)),
+				Detail: fmt.Sprintf("fired %d times vs %d (%s)", ba.Fired, aa.Fired, ba.Spec),
+			})
+		default:
+			r.Unchanged++
+		}
+	}
+	keys := make([]string, 0, len(bm))
+	for k := range bm {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ba := bm[k]
+		verdict := VerdictNew
+		detail := fmt.Sprintf("rule %s only in fresh run", ba.Spec)
+		if ba.State == "firing" || ba.Fired > 0 {
+			// A brand-new rule that also fired is a regression signal, not
+			// just inventory drift.
+			verdict = VerdictRegressed
+			detail = fmt.Sprintf("new rule fired %d times (%s): %s", ba.Fired, ba.Spec, lastIncidentDetail(ba))
+		}
+		r.Findings = append(r.Findings, Finding{Kind: "alert", Verdict: verdict, Key: k,
+			New: float64(ba.Fired), Detail: detail})
+	}
+}
+
+// lastIncidentDetail quotes the most recent incident's detail and first
+// trace link, the fastest path from a diff line to a critical path.
+func lastIncidentDetail(ar report.AlertRecord) string {
+	if len(ar.Incidents) == 0 {
+		return "no incident captured"
+	}
+	inc := ar.Incidents[len(ar.Incidents)-1]
+	if len(inc.TraceIDs) == 0 {
+		return inc.Detail
+	}
+	return fmt.Sprintf("%s (trace %s)", inc.Detail, inc.TraceIDs[0])
 }
 
 // firstSeriesDivergence walks two sampled series in step and reports

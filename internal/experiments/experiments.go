@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/faas"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -41,6 +42,12 @@ type Options struct {
 	// policies ignore it. The dedicated "prefetch" experiment compares
 	// on vs off explicitly and is unaffected by this knob.
 	Prefetch bool
+	// Alerts, when non-nil, tracks one alert engine per observed run
+	// (cmd/trenv-bench -alerts): rules evaluate on each run's recorder
+	// samples, so it only takes effect alongside Recorders. The
+	// dedicated "incidents" experiment creates its own engine when this
+	// is nil.
+	Alerts *alert.Set
 }
 
 // chaosInjector compiles o.Chaos against eng, or returns nil when no
@@ -57,7 +64,8 @@ func (o Options) chaosInjector(eng *sim.Engine) *fault.Injector {
 }
 
 // observe wires a fresh registry + recorder to pl under the given run
-// name when time-series capture is enabled. Call before RunTrace.
+// name when time-series capture is enabled, plus an alert engine when
+// alerting is enabled too. Call before RunTrace.
 func (o Options) observe(run string, pl *faas.Platform) {
 	if o.Recorders == nil {
 		return
@@ -65,6 +73,11 @@ func (o Options) observe(run string, pl *faas.Platform) {
 	reg := obs.NewRegistry()
 	pl.RegisterMetrics(reg)
 	pl.AttachRecorder(o.Recorders.Track(run, reg), o.Recorders.Every())
+	if o.Alerts != nil {
+		ae := o.Alerts.Track(run)
+		ae.RegisterMetrics(reg, nil)
+		pl.AttachAlerts(ae)
+	}
 }
 
 // DefaultOptions returns paper-scale options.
@@ -151,6 +164,7 @@ func All() []struct {
 		{"ablations", Ablations},
 		{"sensitivity", Sensitivity},
 		{"availability", Availability},
+		{"incidents", Incidents},
 		{"prefetch", Prefetch},
 	}
 }

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alert"
+	"repro/internal/obs"
+)
+
+func runIncidents(t *testing.T) (*Result, *alert.Set, *obs.Tracer) {
+	t.Helper()
+	tr := obs.NewTracer(0)
+	set := alert.NewSet(alert.DefaultRules())
+	res := Incidents(Options{Seed: 1, Scale: 0.1, Tracer: tr, Recorders: obs.NewRecorderSet(0, 0), Alerts: set})
+	return res, set, tr
+}
+
+func TestIncidentsTimelineFiresAndLinksTraces(t *testing.T) {
+	res, set, tr := runIncidents(t)
+	out := res.String()
+	for _, want := range []string{"pending", "firing", "resolved", "wedged=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+
+	spanTraces := map[string]bool{}
+	for _, sp := range tr.Spans() {
+		spanTraces[sp.TraceID] = true
+	}
+	set.Each(func(run string, eng *alert.Engine) {
+		if run != "incidents/availability" {
+			t.Fatalf("run name = %q", run)
+		}
+		if eng.FiredTotal() == 0 || len(eng.Incidents()) == 0 {
+			t.Fatalf("no incidents captured: fired=%d", eng.FiredTotal())
+		}
+		for _, inc := range eng.Incidents() {
+			if len(inc.Worst) == 0 {
+				t.Fatalf("incident %s (%s) has no trace links", inc.ID, inc.Rule)
+			}
+			resolvable := 0
+			for _, w := range inc.Worst {
+				if spanTraces[w.TraceID] {
+					resolvable++
+				}
+			}
+			if resolvable == 0 {
+				t.Fatalf("incident %s links no trace ID resolvable in the run's span list", inc.ID)
+			}
+		}
+	})
+}
+
+func TestIncidentsDeterministicPerSeed(t *testing.T) {
+	a, _, _ := runIncidents(t)
+	b, _, _ := runIncidents(t)
+	if a.String() != b.String() {
+		t.Fatalf("same-seed incident timelines differ:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+func TestIncidentsDefaultOptions(t *testing.T) {
+	// Without recorders/alerts/tracer the experiment builds its own and
+	// still produces a timeline.
+	res := Incidents(Options{Seed: 1, Scale: 0.1})
+	if !strings.Contains(res.String(), "firing") {
+		t.Fatalf("no firing transition:\n%s", res)
+	}
+}
+
+func TestIncidentsReportEmbedsAlerts(t *testing.T) {
+	tr := obs.NewTracer(0)
+	set := alert.NewSet(alert.DefaultRules())
+	o := Options{Seed: 1, Scale: 0.1, Tracer: tr, Recorders: obs.NewRecorderSet(0, 0), Alerts: set}
+	res := Incidents(o)
+	rep := BuildReport([]string{"incidents"}, o, []*Result{res}, true)
+	if rep.Flags["alerts"] != "on" {
+		t.Fatalf("flags = %v", rep.Flags)
+	}
+	if len(rep.Alerts) != len(alert.DefaultRules()) {
+		t.Fatalf("alert records = %d, want one per rule", len(rep.Alerts))
+	}
+	fired := false
+	for _, ar := range rep.Alerts {
+		if ar.Run != "incidents/availability" {
+			t.Fatalf("record run = %q", ar.Run)
+		}
+		if ar.Fired > 0 {
+			fired = true
+			if len(ar.Incidents) == 0 {
+				t.Fatalf("fired rule %s has no incidents in the bundle", ar.Rule)
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("no rule fired in the bundle")
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 
+	"repro/internal/alert"
 	"repro/internal/obs"
 	"repro/internal/report"
 )
@@ -49,6 +50,12 @@ func BuildReport(ids []string, o Options, results []*Result, lean bool) *report.
 			r.AddSpans(roots)
 		}
 		r.Analyze(roots, 0)
+	}
+	if o.Alerts != nil {
+		r.SetFlag("alerts", "on")
+		o.Alerts.Each(func(run string, eng *alert.Engine) {
+			r.AddAlerts(run, eng)
+		})
 	}
 	return r
 }

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/mmtemplate"
@@ -209,6 +210,7 @@ type Platform struct {
 	slo      *obs.SLOTracker
 	recorder *obs.Recorder
 	recEvery time.Duration
+	alerts   *alert.Engine
 
 	// prefetcher replays working-set logs on TrEnv restores; promoCache
 	// is its direct-access promotion cache (both nil unless
@@ -428,6 +430,23 @@ func (pl *Platform) AttachRecorder(rec *obs.Recorder, every time.Duration) {
 	pl.recorder = rec
 	pl.recEvery = every
 }
+
+// AttachAlerts binds an alert engine to the platform: it evaluates on
+// the attached recorder's sampling instants (bound when RunTrace
+// starts), links incidents to the platform's tracer, and watches the
+// SLO tracker when one is configured. Attach before RunTrace, alongside
+// AttachRecorder — without a recorder nothing drives evaluation.
+func (pl *Platform) AttachAlerts(ae *alert.Engine) {
+	pl.alerts = ae
+	ae.SetTracer(pl.tracer)
+	if pl.slo != nil {
+		ae.AddSLO(pl.slo)
+	}
+}
+
+// Alerts returns the attached alert engine (nil unless AttachAlerts was
+// called).
+func (pl *Platform) Alerts() *alert.Engine { return pl.alerts }
 
 // PoolUsage returns bytes held in the CXL, RDMA, and tmpfs pools.
 func (pl *Platform) PoolUsage() (cxl, rdma, tmpfs int64) {
@@ -1137,6 +1156,9 @@ func (pl *Platform) RunTrace(tr workload.Trace) {
 	}
 	pl.startSampler()
 	if pl.recorder != nil {
+		if pl.alerts != nil {
+			pl.alerts.Observe(pl.recorder)
+		}
 		pl.recorder.PumpWhile(pl.eng, pl.recEvery, func() bool {
 			return pl.eng.Now() < pl.traceEnd || pl.active > 0
 		})

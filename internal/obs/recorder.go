@@ -87,6 +87,40 @@ func (ts *TimeSeries) Last() Point {
 	return ts.points[(ts.head+ts.cap-1)%ts.cap]
 }
 
+// at returns the i-th retained point, oldest first.
+func (ts *TimeSeries) at(i int) Point {
+	if len(ts.points) < ts.cap {
+		return ts.points[i]
+	}
+	return ts.points[(ts.head+i)%ts.cap]
+}
+
+// RateOver returns the average per-second rate of change between the
+// newest retained point and the newest point at or before now-window
+// (the oldest retained point when the window reaches past the ring).
+// ok is false when fewer than two distinct instants bound the window —
+// no data yields no rate, never zero. Alert rate rules use this instead
+// of the instantaneous per-sample Rate, which is too spiky to threshold.
+func (ts *TimeSeries) RateOver(now, window time.Duration) (rate float64, ok bool) {
+	n := len(ts.points)
+	if n < 2 {
+		return 0, false
+	}
+	last := ts.at(n - 1)
+	cut := now - window
+	baseline := ts.at(0)
+	for i := n - 2; i >= 0; i-- {
+		if p := ts.at(i); p.T <= cut {
+			baseline = p
+			break
+		}
+	}
+	if baseline.T >= last.T {
+		return 0, false
+	}
+	return safeRate(last.Value-baseline.Value, last.T-baseline.T), true
+}
+
 // Recorder samples a registry into per-series rings. Series appear as
 // the registry first reports them (dynamic families grow during a run).
 type Recorder struct {
@@ -95,6 +129,12 @@ type Recorder struct {
 	series  map[string]*TimeSeries
 	order   []string // sorted keys
 	samples int64
+
+	// onSample, when set, runs after every Sample with the sampled
+	// instant — the alert engine hooks rule evaluation here so alerting
+	// rides the existing sampling pump instead of scheduling events of
+	// its own.
+	onSample func(now time.Duration)
 }
 
 // NewRecorder records reg's series into rings of the given capacity
@@ -131,7 +171,15 @@ func (r *Recorder) Sample(now time.Duration) {
 		ts.lastT, ts.lastV, ts.seen = now, s.Value, true
 	}
 	r.samples++
+	if r.onSample != nil {
+		r.onSample(now)
+	}
 }
+
+// SetOnSample registers a hook that runs after every Sample with the
+// sampled virtual instant (nil clears it). Consumers that must see
+// exactly the instants the recorder saw — the alert engine — bind here.
+func (r *Recorder) SetOnSample(fn func(now time.Duration)) { r.onSample = fn }
 
 // safeRate returns delta per second over elapsed, or 0 when the
 // interval is zero or negative — rates must never divide by a

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/alert"
+	"repro/internal/faas"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// runAlertedNode drives the runNode workload with a flight recorder and
+// an always-firing alert rule attached, so the bundle embeds alerts.
+func runAlertedNode(t *testing.T, seed int64) *faas.Platform {
+	t.Helper()
+	cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
+	cfg.Seed = seed
+	cfg.Node = "n0"
+	cfg.Tracer = obs.NewTracer(0)
+	pl := faas.New(cfg)
+	reg := obs.NewRegistry()
+	pl.RegisterMetrics(reg)
+	pl.AttachRecorder(obs.NewRecorder(reg, 0), 0)
+	pl.AttachAlerts(alert.New([]alert.Rule{
+		{Name: "any-invoke", Kind: alert.KindRate, Series: "trenv_invocations_total", Op: alert.OpGT, Value: 0.1},
+		{Name: "ghost", Kind: alert.KindAbsence, Series: "no_such_series", Window: time.Second},
+	}))
+
+	profs := workload.Table4()[:3]
+	var tr workload.Trace
+	for i, p := range profs {
+		if err := pl.Register(p); err != nil {
+			t.Fatalf("register %s: %v", p.Name, err)
+		}
+		for j := 0; j < 8; j++ {
+			tr = append(tr, workload.Invocation{
+				At:       time.Duration(i*20+j*150) * time.Millisecond,
+				Function: p.Name,
+			})
+		}
+	}
+	pl.RunTrace(tr)
+	return pl
+}
+
+func TestFromPlatformEmbedsAlerts(t *testing.T) {
+	r := FromPlatform("test", 0.5, runAlertedNode(t, 7))
+	if len(r.Alerts) != 2 {
+		t.Fatalf("alerts = %+v, want both rules recorded", r.Alerts)
+	}
+	// Sort() orders by (run, rule): any-invoke before ghost.
+	if r.Alerts[0].Rule != "any-invoke" || r.Alerts[1].Rule != "ghost" {
+		t.Fatalf("alert order = %s, %s", r.Alerts[0].Rule, r.Alerts[1].Rule)
+	}
+	ghost := r.Alerts[1]
+	if ghost.State != "firing" || ghost.Fired != 1 || ghost.Spec == "" {
+		t.Fatalf("ghost record = %+v", ghost)
+	}
+	if len(ghost.Incidents) != 1 {
+		t.Fatalf("ghost incidents = %+v", ghost.Incidents)
+	}
+	// The firing rule with tracer coverage must link resolvable traces.
+	inv := r.Alerts[0]
+	if inv.Fired == 0 || len(inv.Incidents) == 0 {
+		t.Fatalf("any-invoke record = %+v", inv)
+	}
+	spanTraces := map[string]bool{}
+	for _, sp := range r.Spans {
+		spanTraces[sp.TraceID] = true
+	}
+	linked := 0
+	for _, id := range inv.Incidents[0].TraceIDs {
+		if spanTraces[id] {
+			linked++
+		}
+	}
+	if linked == 0 {
+		t.Fatalf("incident trace IDs %v not resolvable in the bundle's span list", inv.Incidents[0].TraceIDs)
+	}
+}
+
+func TestAlertsSurviveBundleRoundTrip(t *testing.T) {
+	orig := FromPlatform("test", 1, runAlertedNode(t, 3))
+	var a bytes.Buffer
+	if err := orig.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(a.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := back.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("alerts changed across the bundle round trip")
+	}
+}
+
+func TestAlertedBundlesByteIdenticalPerSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := FromPlatform("test", 1, runAlertedNode(t, 3)).WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := FromPlatform("test", 1, runAlertedNode(t, 3)).WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same-seed alerted bundles are not byte-identical")
+	}
+}

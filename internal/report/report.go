@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sort"
 
+	"repro/internal/alert"
 	"repro/internal/cluster"
 	"repro/internal/faas"
 	"repro/internal/obs"
@@ -107,11 +108,38 @@ type Report struct {
 	// tolerance bands and never includes them in determinism triage.
 	Bench map[string]float64 `json:"bench,omitempty"`
 
-	Figures  []Figure     `json:"figures,omitempty"`
-	Metrics  []Metric     `json:"metrics,omitempty"`
-	Series   []Series     `json:"series,omitempty"`
-	Analysis *obs.Report  `json:"analysis,omitempty"`
-	Spans    []SpanRecord `json:"spans,omitempty"`
+	Figures  []Figure      `json:"figures,omitempty"`
+	Metrics  []Metric      `json:"metrics,omitempty"`
+	Series   []Series      `json:"series,omitempty"`
+	Analysis *obs.Report   `json:"analysis,omitempty"`
+	Alerts   []AlertRecord `json:"alerts,omitempty"`
+	Spans    []SpanRecord  `json:"spans,omitempty"`
+}
+
+// AlertRecord is one alert rule's end-of-run state: its canonical spec
+// (self-describing, so a diff can quote the rule), lifecycle state, how
+// often it fired, and each captured incident with the trace IDs of the
+// worst invocations inside its window.
+type AlertRecord struct {
+	Run       string          `json:"run,omitempty"`
+	Rule      string          `json:"rule"`
+	Kind      string          `json:"kind"`
+	Spec      string          `json:"spec"`
+	State     string          `json:"state"`
+	Fired     int64           `json:"fired"`
+	Incidents []AlertIncident `json:"incidents,omitempty"`
+}
+
+// AlertIncident is one flattened incident: virtual-time lifecycle plus
+// trace links into the bundle's span list.
+type AlertIncident struct {
+	ID         string   `json:"id"`
+	Detail     string   `json:"detail,omitempty"`
+	PendingMS  float64  `json:"pending_ms"`
+	FiringMS   float64  `json:"firing_ms"`
+	ResolvedMS float64  `json:"resolved_ms,omitempty"`
+	Resolved   bool     `json:"resolved"`
+	TraceIDs   []string `json:"trace_ids,omitempty"`
 }
 
 // New returns an empty bundle stamped with the run's identity.
@@ -227,6 +255,38 @@ func (r *Report) AddSpans(roots []*obs.Span) {
 	}
 }
 
+// AddAlerts records every rule's end-of-run state from an alert engine
+// under the given run name, folding each rule's incidents (with their
+// worst-invocation trace links) into its record.
+func (r *Report) AddAlerts(run string, eng *alert.Engine) {
+	byRule := make(map[string][]AlertIncident)
+	for _, inc := range eng.Incidents() {
+		ai := AlertIncident{
+			ID:         inc.ID,
+			Detail:     inc.Detail,
+			PendingMS:  inc.PendingMS,
+			FiringMS:   inc.FiringMS,
+			ResolvedMS: inc.ResolvedMS,
+			Resolved:   inc.Resolved,
+		}
+		for _, w := range inc.Worst {
+			ai.TraceIDs = append(ai.TraceIDs, w.TraceID)
+		}
+		byRule[inc.Rule] = append(byRule[inc.Rule], ai)
+	}
+	for _, st := range eng.Snapshot() {
+		r.Alerts = append(r.Alerts, AlertRecord{
+			Run:       run,
+			Rule:      st.Rule.Name,
+			Kind:      string(st.Rule.Kind),
+			Spec:      st.Rule.Spec(),
+			State:     string(st.State),
+			Fired:     st.Fired,
+			Incidents: byRule[st.Rule.Name],
+		})
+	}
+}
+
 // Analyze attaches the trace-analytics report over the given roots.
 func (r *Report) Analyze(roots []*obs.Span, topK int) {
 	r.Analysis = obs.Analyze(roots, topK)
@@ -261,6 +321,12 @@ func (r *Report) Sort() {
 		return a.SpanID < b.SpanID
 	})
 	sort.SliceStable(r.Figures, func(i, j int) bool { return r.Figures[i].ID < r.Figures[j].ID })
+	sort.SliceStable(r.Alerts, func(i, j int) bool {
+		if r.Alerts[i].Run != r.Alerts[j].Run {
+			return r.Alerts[i].Run < r.Alerts[j].Run
+		}
+		return r.Alerts[i].Rule < r.Alerts[j].Rule
+	})
 }
 
 // WriteJSON writes the bundle with stable indentation and field order.
@@ -326,6 +392,9 @@ func FromPlatform(source string, scale float64, pl *faas.Platform) *Report {
 		r.AddSpans(roots)
 		r.Analyze(roots, 0)
 	}
+	if ae := pl.Alerts(); ae != nil {
+		r.AddAlerts("", ae)
+	}
 	r.Sort()
 	return r
 }
@@ -342,6 +411,9 @@ func FromCluster(source string, scale float64, c *cluster.Cluster, tracer *obs.T
 		roots := tracer.Spans()
 		r.AddSpans(roots)
 		r.Analyze(roots, 0)
+	}
+	if ae := c.Alerts(); ae != nil {
+		r.AddAlerts("", ae)
 	}
 	r.Sort()
 	return r

@@ -7,7 +7,8 @@
 #   3. every flag cmd/trenv-bench defines appears in EXPERIMENTS.md's
 #      flag table;
 #   4. every flag cmd/trenvd defines appears in README.md's trenvd
-#      flag list;
+#      flag list, and every trenv-bench flag in README.md's
+#      trenv-bench flag table;
 #   5. every flag cmd/trenv-trace defines appears in its own command
 #      comment (the godoc usage block);
 #   6. every flag cmd/trenv-diff defines appears in README.md's
@@ -51,6 +52,13 @@ for f in $flags; do
     case "$f" in list) continue ;; esac # -list is usage plumbing, not an experiment knob
     if ! grep -q -- "-$f" EXPERIMENTS.md; then
         echo "trenv-bench flag undocumented in EXPERIMENTS.md: -$f" >&2
+        fail=1
+    fi
+done
+for f in $flags; do
+    case "$f" in list) continue ;; esac
+    if ! grep -q -- "\`-$f" README.md; then
+        echo "trenv-bench flag undocumented in README.md: -$f" >&2
         fail=1
     fi
 done

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/alert"
 	"repro/internal/cluster"
 	"repro/internal/diff"
 	"repro/internal/experiments"
@@ -513,6 +514,46 @@ const (
 	// OutcomeCrashed was aborted by a node crash; clusters re-dispatch it.
 	OutcomeCrashed = faas.OutcomeCrashed
 )
+
+// ---------------------------------------------------------------------
+// Alerting (see internal/alert): rules evaluated on the virtual clock
+// against flight-recorder series and SLO burn rates, with incident
+// capture linking each firing to the worst invocations' critical paths.
+
+// AlertRule is one compiled alerting rule (threshold, rate, burn, or
+// absence, each with a for-duration hysteresis).
+type AlertRule = alert.Rule
+
+// AlertEngine evaluates rules on the recorder's sampling instants and
+// captures incidents; attach via ContainerPlatform.AttachAlerts or
+// Cluster.AttachAlerts alongside a flight recorder.
+type AlertEngine = alert.Engine
+
+// AlertSet groups one engine per run under run names for one combined
+// export (cmd/trenv-bench -alerts).
+type AlertSet = alert.Set
+
+// AlertIncident is one captured firing: virtual-time lifecycle, the
+// offending series window, and trace links to the worst invocations.
+type AlertIncident = alert.Incident
+
+// NewAlertEngine compiles rules into an engine.
+func NewAlertEngine(rules []AlertRule) *AlertEngine { return alert.New(rules) }
+
+// NewAlertSet builds a set whose engines all compile the same rules.
+func NewAlertSet(rules []AlertRule) *AlertSet { return alert.NewSet(rules) }
+
+// ParseAlertRules parses a compact comma-separated rule spec, e.g.
+// "rate:errors:trenv_errors_total:>0.5:for=2s,burn:slo:*:1m@14x|5m@2x".
+func ParseAlertRules(spec string) ([]AlertRule, error) { return alert.ParseSpec(spec) }
+
+// LoadAlertRules resolves a -rules argument: "@path" reads a rule file
+// (blank lines and #-comments ignored), anything else parses as a spec.
+func LoadAlertRules(arg string) ([]AlertRule, error) { return alert.Load(arg) }
+
+// DefaultAlertRules returns the built-in rule set: fallback storms, an
+// open circuit breaker, error-rate spikes, and fast+slow SLO burn.
+func DefaultAlertRules() []AlertRule { return alert.DefaultRules() }
 
 // ---------------------------------------------------------------------
 // Experiment harness (every table and figure of the evaluation).
