@@ -114,6 +114,7 @@ func main() {
 	alertsPath := flag.String("alerts", "", "attach the alert engine to every run and write per-run alert states, incidents, and timelines as JSON to this file")
 	rulesSpec := flag.String("rules", "", "with -alerts or -report: alerting rules as a compact spec or @file (empty = built-in default set)")
 	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching on every TrEnv platform the experiments build")
+	hedgeSpec := flag.String("hedge", "", "request-hedging policy armed on every cluster the experiments build, e.g. 'delay:50ms', 'p95', 'clone:2' (see README for the grammar)")
 	selfbenchPath := flag.String("selfbench", "", "run the wall-clock self-benchmark suite instead of experiments and write the report JSON to this file ('-' for stdout)")
 	reportPath := flag.String("report", "", "write the schema-stable trenv-report/v1 run bundle (figures, metrics, series, spans, analysis) to this file")
 	reportLean := flag.Bool("report-lean", false, "with -report: omit spans and sampled series, producing a committed-baseline-sized bundle")
@@ -163,6 +164,16 @@ func main() {
 			os.Exit(2)
 		}
 		o.Chaos = &sc
+	}
+	if *hedgeSpec != "" {
+		hp, err := trenv.ParseHedgePolicy(*hedgeSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trenv-bench: -hedge: %v\n", err)
+			os.Exit(2)
+		}
+		if hp.Enabled() {
+			o.Hedge = &hp
+		}
 	}
 	if *alertsPath != "" || *rulesSpec != "" {
 		rules := trenv.DefaultAlertRules()

@@ -8,6 +8,7 @@
 //	trenvd [-addr :8080] [-policy trenv-cxl] [-seed 1] [-node n0]
 //	       [-slo-target-ms 0] [-slo-objective 0.99] [-sample-ms 100]
 //	       [-prefetch] [-promote-threshold 0] [-pprof] [-rules <spec>]
+//	       [-hedge-policy <spec>] [-hedge-delay <dur>]
 //	trenvd -version
 //
 // -node labels every exported series (node="n0") so several trenvd
@@ -23,7 +24,10 @@
 // deterministic virtual-time exports); -rules loads alerting rules (a
 // compact spec, "@file" to read one clause per line, or "default" for
 // the built-in set) evaluated on every flight-recorder sample and
-// served on /alerts; -version prints the build and exits.
+// served on /alerts; -hedge-policy arms a request-hedging policy
+// ("delay:<dur>", "p<pct>", "clone:<n>" — README has the grammar) on
+// every cluster POST /experiments/run builds, and -hedge-delay is
+// shorthand for "delay:<dur>"; -version prints the build and exits.
 //
 // Endpoints:
 //
@@ -100,6 +104,7 @@ type server struct {
 	labels   map[string]string     // node label applied to registered metrics
 	started  time.Time             // wall-clock start, denominator for /selfstats rates
 	pprof    bool                  // serve /debug/pprof/ when set
+	hedge    *trenv.HedgePolicy    // armed on every cluster POST /experiments/run builds
 }
 
 // serverOptions parameterize the control plane beyond policy and seed.
@@ -114,6 +119,7 @@ type serverOptions struct {
 	promoteAfter int           // replay count that promotes a run (0 = never)
 	pprof        bool          // serve net/http/pprof under /debug/pprof/
 	rules        []trenv.AlertRule
+	hedge        *trenv.HedgePolicy // hedge policy for POST /experiments/run clusters
 }
 
 // newServer builds the control plane over a fresh simulated platform
@@ -173,6 +179,7 @@ func newServerWith(o serverOptions) *server {
 		labels:   labels,
 		started:  time.Now(),
 		pprof:    o.pprof,
+		hedge:    o.hedge,
 	}
 }
 
@@ -260,6 +267,8 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "enable working-set prefetching (TrEnv policies only)")
 	promoteAfter := flag.Int("promote-threshold", 0, "replay count that promotes a working set into the direct-access cache (0 = never; needs -prefetch)")
 	rulesSpec := flag.String("rules", "default", "alerting rules: a spec string, @file, \"default\" for the built-in set, or \"none\"")
+	hedgePolicy := flag.String("hedge-policy", "", "request-hedging policy for POST /experiments/run clusters, e.g. 'delay:50ms', 'p95', 'clone:2'")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "shorthand for -hedge-policy delay:<dur>")
 	drain := flag.Duration("drain-timeout", 5*time.Second, "bounded drain window for graceful shutdown on SIGINT/SIGTERM")
 	pprofOn := flag.Bool("pprof", false, "serve Go net/http/pprof profiles under /debug/pprof/")
 	version := flag.Bool("version", false, "print version and exit")
@@ -276,6 +285,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	var hedge *trenv.HedgePolicy
+	switch {
+	case *hedgePolicy != "" && *hedgeDelay != 0:
+		fmt.Fprintln(os.Stderr, "trenvd: -hedge-policy and -hedge-delay are mutually exclusive")
+		os.Exit(2)
+	case *hedgeDelay < 0:
+		fmt.Fprintln(os.Stderr, "trenvd: -hedge-delay must be positive")
+		os.Exit(2)
+	case *hedgeDelay != 0:
+		hedge = &trenv.HedgePolicy{Mode: trenv.HedgeDelay, Delay: *hedgeDelay}
+	case *hedgePolicy != "":
+		hp, err := trenv.ParseHedgePolicy(*hedgePolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trenvd: -hedge-policy:", err)
+			os.Exit(2)
+		}
+		if hp.Enabled() {
+			hedge = &hp
+		}
+	}
+
 	s := newServerWith(serverOptions{
 		policy:       trenv.ContainerPolicy(*policy),
 		seed:         *seed,
@@ -287,6 +317,7 @@ func main() {
 		promoteAfter: *promoteAfter,
 		pprof:        *pprofOn,
 		rules:        rules,
+		hedge:        hedge,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -798,7 +829,7 @@ func (s *server) runExperiment(w http.ResponseWriter, r *http.Request) {
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
-	res, ok := trenv.RunExperiment(req.ID, trenv.ExperimentOptions{Seed: req.Seed, Scale: req.Scale})
+	res, ok := trenv.RunExperiment(req.ID, trenv.ExperimentOptions{Seed: req.Seed, Scale: req.Scale, Hedge: s.hedge})
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown experiment %q", req.ID)
 		return

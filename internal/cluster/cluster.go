@@ -33,12 +33,13 @@ type Cluster struct {
 	breakers []*fault.Breaker
 	chaos    *fault.Injector
 
-	dispatched   sim.Counter // invocations handed to a node
-	results      sim.Counter // terminal outcomes observed (incl. crash aborts)
-	redispatched sim.Counter // crash-aborted invocations re-dispatched to survivors
+	// hedge owns dispatch, hedging/cloning, crash re-dispatch, and the
+	// no-loss accounting shared with MultiRack.
+	hedge *hedger
 
 	// resultHook, when non-nil, observes every node's terminal outcomes
-	// (experiments use it for availability bucketing).
+	// (experiments use it for availability bucketing). See
+	// hedger.onResult for the delivery contract under hedging.
 	resultHook func(node int, r faas.InvocationResult)
 
 	recorder *obs.Recorder
@@ -81,30 +82,59 @@ func New(n int, cfg faas.Config) (*Cluster, error) {
 		c.nodes = append(c.nodes, faas.New(nodeCfg))
 		c.breakers = append(c.breakers, fault.NewBreaker(fault.DefaultBreakerConfig(), eng.Now))
 	}
+	c.hedge = newHedger(eng, hedgeHooks{
+		pick: func(fn string, exclude map[string]bool, _ bool) (*faas.Platform, string) {
+			return c.pickExcluding(fn, exclude), ""
+		},
+		nodes:   func() []*faas.Platform { return c.nodes },
+		deliver: c.deliver,
+		breaker: func(i int) *fault.Breaker {
+			if i < 0 {
+				return nil
+			}
+			return c.breakers[i]
+		},
+		tracer: func() *obs.Tracer { return c.nodes[0].Tracer() },
+	})
 	return c, nil
 }
 
-// onResult feeds the node's breaker and re-dispatches crash-aborted
-// invocations to a survivor — never silently completed, never lost.
-func (c *Cluster) onResult(node int, r faas.InvocationResult) {
-	c.results.Inc()
+// onResult funnels every node's terminal outcomes through the hedger:
+// breaker feeding, hedge-race settlement, and crash re-dispatch — never
+// silently completed, never lost.
+func (c *Cluster) onResult(node int, r faas.InvocationResult) { c.hedge.onResult(node, r) }
+
+func (c *Cluster) deliver(node int, r faas.InvocationResult) {
 	if c.resultHook != nil {
 		c.resultHook(node, r)
 	}
-	if r.Outcome == faas.OutcomeCrashed {
-		c.redispatch(r.Function)
-		return
-	}
-	// A fault-tainted outcome (error, fallback, or success-after-retry)
-	// counts against the node's pool-fetch health.
-	c.breakers[node].Record(r.FaultTrace == "" && r.Outcome != faas.OutcomeError)
 }
 
-func (c *Cluster) redispatch(fn string) {
-	c.redispatched.Inc()
-	c.eng.Go("redispatch/"+fn, func(p *sim.Proc) {
-		c.pick(fn).InvokeDispatched(p, fn, "redispatch")
-	})
+// SetHedgePolicy arms request hedging/cloning for every invocation
+// dispatched after the call; the policy's deadline (when set) pushes
+// onto every node. Set before RunTrace.
+func (c *Cluster) SetHedgePolicy(hp HedgePolicy) {
+	c.hedge.policy = hp
+	applyDeadline(c.nodes, hp)
+}
+
+// HedgePolicy returns the armed policy (zero value = off).
+func (c *Cluster) HedgePolicy() HedgePolicy { return c.hedge.policy }
+
+// SetMaxRedispatch overrides the per-invocation crash re-dispatch
+// budget (default DefaultMaxRedispatch; < 0 is clamped to 0).
+func (c *Cluster) SetMaxRedispatch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.hedge.maxRedispatch = n
+}
+
+// SetSettleHook observes each invocation's settling outcome with its
+// logical end-to-end latency (dispatch → first real terminal, hedge
+// delays and re-dispatches included). Set before RunTrace.
+func (c *Cluster) SetSettleHook(fn func(fn string, latency time.Duration, r faas.InvocationResult)) {
+	c.hedge.onSettle = fn
 }
 
 // SetResultHook observes every invocation's terminal outcome with its
@@ -113,21 +143,39 @@ func (c *Cluster) SetResultHook(fn func(node int, r faas.InvocationResult)) {
 	c.resultHook = fn
 }
 
-// Dispatched counts invocations handed to a node (excluding re-dispatch).
-func (c *Cluster) Dispatched() int64 { return c.dispatched.Value() }
+// Dispatched counts invocations handed to a node (excluding re-dispatch
+// and hedge attempts).
+func (c *Cluster) Dispatched() int64 { return c.hedge.dispatched.Value() }
 
-// Results counts terminal outcomes observed.
-func (c *Cluster) Results() int64 { return c.results.Value() }
+// Results counts non-cancelled terminal outcomes observed.
+func (c *Cluster) Results() int64 { return c.hedge.results.Value() }
 
 // Redispatched counts crash-aborted invocations re-dispatched to survivors.
-func (c *Cluster) Redispatched() int64 { return c.redispatched.Value() }
+func (c *Cluster) Redispatched() int64 { return c.hedge.redispatched.Value() }
 
-// Wedged returns the invocations that never reached a terminal outcome.
-// After RunTrace drains, any recovery scheme worth the name leaves this
-// at zero.
-func (c *Cluster) Wedged() int64 {
-	return c.dispatched.Value() + c.redispatched.Value() - c.results.Value()
-}
+// Hedged counts hedge/clone attempts launched beyond primary dispatches.
+func (c *Cluster) Hedged() int64 { return c.hedge.hedged.Value() }
+
+// HedgeWins counts races settled by a non-primary attempt.
+func (c *Cluster) HedgeWins() int64 { return c.hedge.hedgeWins.Value() }
+
+// HedgeSkips counts hedge triggers dropped because no healthy distinct
+// target node existed (graceful degradation to unhedged dispatch).
+func (c *Cluster) HedgeSkips() int64 { return c.hedge.hedgeSkips.Value() }
+
+// Cancelled counts losing attempts cooperatively cancelled after their
+// race settled.
+func (c *Cluster) Cancelled() int64 { return c.hedge.cancelled.Value() }
+
+// RedispatchExhausted counts invocations abandoned after spending the
+// crash re-dispatch budget.
+func (c *Cluster) RedispatchExhausted() int64 { return c.hedge.exhausted.Value() }
+
+// Wedged returns the attempts that never reached a terminal outcome:
+// dispatched + redispatched + hedged − results − cancelled. After
+// RunTrace drains, any recovery scheme worth the name leaves this at
+// zero — with hedging on, every extra attempt must terminate too.
+func (c *Cluster) Wedged() int64 { return c.hedge.wedged() }
 
 // Breakers exposes the per-node circuit breakers (node order).
 func (c *Cluster) Breakers() []*fault.Breaker { return c.breakers }
@@ -241,8 +289,24 @@ func (c *Cluster) healthyNodes() []*faas.Platform {
 // pick returns the node to run fn on: prefer a healthy node holding a
 // warm instance, else the least-loaded healthy node. Crashed nodes and
 // open-breaker nodes are skipped.
-func (c *Cluster) pick(fn string) *faas.Platform {
-	cand := c.healthyNodes()
+func (c *Cluster) pick(fn string) *faas.Platform { return c.pickExcluding(fn, nil) }
+
+// pickExcluding is pick with nodes the current hedge race already tried
+// removed from candidacy; nil when no candidate remains (the hedger
+// degrades to unhedged dispatch then). Both the warm scan and the
+// least-loaded scan walk the node slice in index order and ties on
+// equal load break toward the lowest index — placement is a pure
+// function of cluster state, never of map iteration order.
+func (c *Cluster) pickExcluding(fn string, exclude map[string]bool) *faas.Platform {
+	var cand []*faas.Platform
+	for _, node := range c.healthyNodes() {
+		if exclude == nil || !exclude[node.NodeName()] {
+			cand = append(cand, node)
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
 	for _, node := range cand {
 		if node.HasWarm(fn) {
 			return node
@@ -261,8 +325,7 @@ func (c *Cluster) pick(fn string) *faas.Platform {
 // time arrives (so warm state is inspected at dispatch, not at submit).
 func (c *Cluster) Invoke(at time.Duration, fn string) {
 	c.eng.At(at, "dispatch/"+fn, func(p *sim.Proc) {
-		c.dispatched.Inc()
-		c.pick(fn).InvokeDispatched(p, fn, "rack")
+		c.hedge.dispatch(p, fn, "rack")
 	})
 }
 

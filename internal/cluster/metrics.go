@@ -6,6 +6,7 @@ import (
 	"repro/internal/faas"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // registerBreakers publishes one breaker-state gauge and opens counter
@@ -77,6 +78,25 @@ func registerFleetAggregates(reg *obs.Registry, nodes []*faas.Platform, alive fu
 	reg.GaugeFunc("trenv_cluster_nodes_alive", "Nodes currently in rotation.", nil, alive)
 }
 
+// registerHedger publishes the dispatch-layer counters both topologies
+// share: crash re-dispatch, hedging, cancellation, and exhaustion.
+func registerHedger(reg *obs.Registry, h *hedger) {
+	counters := []struct {
+		name, help string
+		c          *sim.Counter
+	}{
+		{"trenv_redispatched_total", "Crash-aborted invocations re-dispatched to surviving nodes.", &h.redispatched},
+		{"trenv_hedges_total", "Extra attempts launched by the hedge policy.", &h.hedged},
+		{"trenv_hedge_wins_total", "Hedge races settled by a non-primary attempt.", &h.hedgeWins},
+		{"trenv_hedge_skips_total", "Hedges skipped for lack of a second healthy node.", &h.hedgeSkips},
+		{"trenv_hedge_cancelled_total", "Losing attempts cooperatively cancelled by the dispatcher.", &h.cancelled},
+		{"trenv_redispatch_exhausted_total", "Invocations abandoned after exhausting their re-dispatch budget.", &h.exhausted},
+	}
+	for _, c := range counters {
+		reg.CounterFunc(c.name, c.help, nil, c.c.Value)
+	}
+}
+
 // RegisterMetrics publishes the whole rack into reg: every node's full
 // metric surface under node="n<i>" labels, the shared CXL pool and
 // template registry once under scope="rack", and trenv_cluster_*
@@ -92,8 +112,7 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc("trenv_cluster_dedup_factor", "Logical/unique bytes for the rack's consolidated images.", rack,
 		c.DedupFactor)
 	registerBreakers(reg, c.breakers, func(i int) string { return fmt.Sprintf("n%d", i) })
-	reg.CounterFunc("trenv_redispatched_total", "Crash-aborted invocations re-dispatched to surviving nodes.", nil,
-		c.redispatched.Value)
+	registerHedger(reg, c.hedge)
 	if c.chaos != nil {
 		c.chaos.RegisterMetrics(reg, nil)
 	}
@@ -140,8 +159,7 @@ func (m *MultiRack) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("trenv_cluster_spillovers_total", "Invocations dispatched off their home rack.", nil,
 		m.spillovers.Value)
 	registerBreakers(reg, m.breakers, func(i int) string { return nodes[i].NodeName() })
-	reg.CounterFunc("trenv_redispatched_total", "Crash-aborted invocations re-dispatched to surviving nodes.", nil,
-		m.redispatched.Value)
+	registerHedger(reg, m.hedge)
 	if m.chaos != nil {
 		m.chaos.RegisterMetrics(reg, nil)
 	}

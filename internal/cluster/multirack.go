@@ -35,14 +35,18 @@ type MultiRack struct {
 	spillovers sim.Counter
 
 	// Health state mirrors the single-rack Cluster: per-node breakers
-	// (flat Nodes() order), crashed nodes by name, re-dispatch counters.
-	breakers     []*fault.Breaker
-	nodeIdx      map[string]int // node name -> flat index
-	down         map[string]bool
-	chaos        *fault.Injector
-	dispatched   sim.Counter
-	results      sim.Counter
-	redispatched sim.Counter
+	// (flat Nodes() order), crashed nodes by name, and the shared
+	// hedger owning dispatch, hedging, re-dispatch, and no-loss
+	// accounting.
+	breakers []*fault.Breaker
+	nodeIdx  map[string]int // node name -> flat index
+	down     map[string]bool
+	chaos    *fault.Injector
+	hedge    *hedger
+
+	// resultHook, when non-nil, observes every node's terminal outcomes
+	// (same delivery contract as Cluster's — see hedger.onResult).
+	resultHook func(node int, r faas.InvocationResult)
 
 	recorder *obs.Recorder
 	recEvery time.Duration
@@ -96,21 +100,72 @@ func NewMultiRack(racks, nodesPerRack int, cfg faas.Config) (*MultiRack, error) 
 		}
 		m.racks = append(m.racks, rk)
 	}
+	m.hedge = newHedger(eng, hedgeHooks{
+		pick: func(fn string, exclude map[string]bool, primary bool) (*faas.Platform, string) {
+			node, spilled := m.pickExcluding(fn, exclude)
+			if node == nil {
+				return nil, ""
+			}
+			if primary && spilled {
+				// Spillovers count at primary dispatch only, exactly as
+				// before hedging existed; hedge and re-dispatch attempts
+				// keep their own dispatcher labels.
+				m.spillovers.Inc()
+				return node, "fleet-spill"
+			}
+			return node, ""
+		},
+		nodes:   m.Nodes,
+		deliver: m.deliver,
+		breaker: func(i int) *fault.Breaker {
+			if i < 0 {
+				return nil
+			}
+			return m.breakers[i]
+		},
+		tracer: func() *obs.Tracer { return m.racks[0].nodes[0].Tracer() },
+	})
 	return m, nil
 }
 
 // onResult mirrors Cluster.onResult for the fleet.
-func (m *MultiRack) onResult(node int, r faas.InvocationResult) {
-	m.results.Inc()
-	if r.Outcome == faas.OutcomeCrashed {
-		m.redispatched.Inc()
-		m.eng.Go("redispatch/"+r.Function, func(p *sim.Proc) {
-			node, _ := m.pick(r.Function)
-			node.InvokeDispatched(p, r.Function, "redispatch")
-		})
-		return
+func (m *MultiRack) onResult(node int, r faas.InvocationResult) { m.hedge.onResult(node, r) }
+
+func (m *MultiRack) deliver(node int, r faas.InvocationResult) {
+	if m.resultHook != nil {
+		m.resultHook(node, r)
 	}
-	m.breakers[node].Record(r.FaultTrace == "" && r.Outcome != faas.OutcomeError)
+}
+
+// SetResultHook observes every invocation's terminal outcome with its
+// flat node index. Set before RunTrace.
+func (m *MultiRack) SetResultHook(fn func(node int, r faas.InvocationResult)) {
+	m.resultHook = fn
+}
+
+// SetHedgePolicy arms request hedging/cloning fleet-wide; the policy's
+// deadline (when set) pushes onto every node. Set before RunTrace.
+func (m *MultiRack) SetHedgePolicy(hp HedgePolicy) {
+	m.hedge.policy = hp
+	applyDeadline(m.Nodes(), hp)
+}
+
+// HedgePolicy returns the armed policy (zero value = off).
+func (m *MultiRack) HedgePolicy() HedgePolicy { return m.hedge.policy }
+
+// SetMaxRedispatch overrides the per-invocation crash re-dispatch
+// budget (default DefaultMaxRedispatch; < 0 is clamped to 0).
+func (m *MultiRack) SetMaxRedispatch(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.hedge.maxRedispatch = n
+}
+
+// SetSettleHook observes each invocation's settling outcome with its
+// logical end-to-end latency. Set before RunTrace.
+func (m *MultiRack) SetSettleHook(fn func(fn string, latency time.Duration, r faas.InvocationResult)) {
+	m.hedge.onSettle = fn
 }
 
 // KillNode crashes a node by name ("r1n2"): its warm state is lost and
@@ -132,14 +187,30 @@ func (m *MultiRack) KillNode(name string) error {
 	return nil
 }
 
-// Dispatched counts invocations handed to a node (excluding re-dispatch).
-func (m *MultiRack) Dispatched() int64 { return m.dispatched.Value() }
+// Dispatched counts invocations handed to a node (excluding re-dispatch
+// and hedge attempts).
+func (m *MultiRack) Dispatched() int64 { return m.hedge.dispatched.Value() }
 
-// Results counts terminal outcomes observed.
-func (m *MultiRack) Results() int64 { return m.results.Value() }
+// Results counts terminal outcomes observed (cancelled losers excluded).
+func (m *MultiRack) Results() int64 { return m.hedge.results.Value() }
 
 // Redispatched counts crash-aborted invocations re-dispatched.
-func (m *MultiRack) Redispatched() int64 { return m.redispatched.Value() }
+func (m *MultiRack) Redispatched() int64 { return m.hedge.redispatched.Value() }
+
+// Hedged counts extra attempts launched by the hedge policy.
+func (m *MultiRack) Hedged() int64 { return m.hedge.hedged.Value() }
+
+// HedgeWins counts races settled by a non-primary attempt.
+func (m *MultiRack) HedgeWins() int64 { return m.hedge.hedgeWins.Value() }
+
+// HedgeSkips counts hedges skipped because no second healthy node existed.
+func (m *MultiRack) HedgeSkips() int64 { return m.hedge.hedgeSkips.Value() }
+
+// Cancelled counts losing attempts cooperatively cancelled.
+func (m *MultiRack) Cancelled() int64 { return m.hedge.cancelled.Value() }
+
+// RedispatchExhausted counts invocations that burned their re-dispatch budget.
+func (m *MultiRack) RedispatchExhausted() int64 { return m.hedge.exhausted.Value() }
 
 // Breakers exposes the per-node circuit breakers (flat Nodes() order).
 func (m *MultiRack) Breakers() []*fault.Breaker { return m.breakers }
@@ -147,10 +218,10 @@ func (m *MultiRack) Breakers() []*fault.Breaker { return m.breakers }
 // Chaos returns the attached injector (nil when none).
 func (m *MultiRack) Chaos() *fault.Injector { return m.chaos }
 
-// Wedged returns invocations that never reached a terminal outcome.
-func (m *MultiRack) Wedged() int64 {
-	return m.dispatched.Value() + m.redispatched.Value() - m.results.Value()
-}
+// Wedged returns attempts that never reached a terminal outcome:
+// dispatched + redispatched + hedged - results - cancelled. Zero after
+// RunTrace means no attempt — primary, hedge, or re-dispatch — was lost.
+func (m *MultiRack) Wedged() int64 { return m.hedge.wedged() }
 
 // AttachChaos points every pool (per-rack CXL, the fabric, node-local
 // pools) at the injector, wires node crashes, and arms the schedule.
@@ -223,16 +294,20 @@ func (m *MultiRack) Register(prof workload.FunctionProfile, homeRack int) error 
 	return nil
 }
 
-// pick prefers (1) any healthy node with a warm instance, (2) the
-// least-loaded healthy home-rack node unless every home node is
+// pickExcluding prefers (1) any healthy node with a warm instance, (2)
+// the least-loaded healthy home-rack node unless every home node is
 // saturated, (3) the least-loaded healthy node cluster-wide (a
-// spillover). Crashed nodes and open-breaker nodes are skipped; when no
-// node passes the health filter, the filter degrades to plain aliveness
-// — availability beats breaker hygiene.
-func (m *MultiRack) pick(fn string) (*faas.Platform, bool) {
+// spillover). Ties break toward the lowest rack-major index — scans run
+// in the fixed Nodes() order and only a strictly smaller load displaces
+// the incumbent, so placement is deterministic under equal load.
+// Crashed nodes, open-breaker nodes, and exclude-listed names (nodes
+// already racing this invocation) are skipped; when no node passes the
+// health filter, it degrades to plain aliveness — availability beats
+// breaker hygiene. Returns (nil, false) when every node is excluded.
+func (m *MultiRack) pickExcluding(fn string, exclude map[string]bool) (*faas.Platform, bool) {
 	ok := func(node *faas.Platform) bool {
 		name := node.NodeName()
-		return m.healthy(name, m.nodeIdx[name])
+		return !exclude[name] && m.healthy(name, m.nodeIdx[name])
 	}
 	anyHealthy := false
 	for _, node := range m.Nodes() {
@@ -242,7 +317,10 @@ func (m *MultiRack) pick(fn string) (*faas.Platform, bool) {
 		}
 	}
 	if !anyHealthy {
-		ok = func(node *faas.Platform) bool { return !m.down[node.NodeName()] }
+		ok = func(node *faas.Platform) bool {
+			name := node.NodeName()
+			return !exclude[name] && !m.down[name]
+		}
 	}
 	for _, rk := range m.racks {
 		for _, node := range rk.nodes {
@@ -278,16 +356,7 @@ func (m *MultiRack) pick(fn string) (*faas.Platform, bool) {
 // Invoke dispatches one invocation at virtual time at.
 func (m *MultiRack) Invoke(at time.Duration, fn string) {
 	m.eng.At(at, "dispatch/"+fn, func(p *sim.Proc) {
-		m.dispatched.Inc()
-		node, spilled := m.pick(fn)
-		if spilled {
-			m.spillovers.Inc()
-		}
-		dispatcher := "fleet"
-		if spilled {
-			dispatcher = "fleet-spill"
-		}
-		node.InvokeDispatched(p, fn, dispatcher)
+		m.hedge.dispatch(p, fn, "fleet")
 	})
 }
 

@@ -234,7 +234,7 @@ func direction(key string) int {
 	for _, worse := range []string{
 		"error", "fault", "retr", "dropped", "wedged", "evict", "fallback",
 		"crash", "unavail", "_us", "_ms", "latency", "burn", "alloc", "miss",
-		"redispatch",
+		"redispatch", "deadline", "cancelled", "exhausted",
 	} {
 		if strings.Contains(k, worse) {
 			return 1
@@ -242,6 +242,7 @@ func direction(key string) int {
 	}
 	for _, better := range []string{
 		"warm", "hit", "sharing", "dedup", "per_sec", "prefetched",
+		"hedge_win",
 	} {
 		if strings.Contains(k, better) {
 			return -1

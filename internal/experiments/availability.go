@@ -66,6 +66,9 @@ func runAvailability(o Options, tr workload.Trace, recovery bool) availRun {
 	if err != nil {
 		panic("experiments: availability cluster: " + err.Error())
 	}
+	if o.Hedge != nil {
+		c.SetHedgePolicy(*o.Hedge)
+	}
 	for _, p := range workload.Table4() {
 		if err := c.Register(p); err != nil {
 			panic("experiments: availability register: " + err.Error())
@@ -85,6 +88,9 @@ func runAvailability(o Options, tr workload.Trace, recovery bool) availRun {
 		}
 		if r.Outcome == faas.OutcomeCrashed {
 			return // re-dispatched; its terminal outcome lands later
+		}
+		if r.Outcome == faas.OutcomeCancelled {
+			return // hedge loser; the winning attempt already counted
 		}
 		b.total++
 		if r.Outcome == faas.OutcomeSuccess || r.Outcome == faas.OutcomeFallback {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/alert"
+	"repro/internal/cluster"
 	"repro/internal/faas"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -48,6 +49,11 @@ type Options struct {
 	// dedicated "incidents" experiment creates its own engine when this
 	// is nil.
 	Alerts *alert.Set
+	// Hedge, when non-nil, arms the request-hedging policy on every
+	// cluster an experiment builds (cmd/trenv-bench -hedge); single-node
+	// experiments ignore it. The dedicated "hedging" experiment compares
+	// policies explicitly and is unaffected by this knob.
+	Hedge *cluster.HedgePolicy
 }
 
 // chaosInjector compiles o.Chaos against eng, or returns nil when no
@@ -166,6 +172,7 @@ func All() []struct {
 		{"availability", Availability},
 		{"incidents", Incidents},
 		{"prefetch", Prefetch},
+		{"hedging", Hedging},
 	}
 }
 

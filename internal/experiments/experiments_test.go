@@ -32,7 +32,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig10",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
 		"fig24", "fig25", "fig26", "ablations", "sensitivity", "availability",
-		"incidents", "prefetch"}
+		"incidents", "prefetch", "hedging"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

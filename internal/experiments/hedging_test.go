@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// TestHedgingPartBTailWin is the acceptance criterion at CI scale: the
+// delay-hedged run's end-to-end p99 lands strictly below the unhedged
+// run's under the flaky-RDMA + patient-reconnect chaos, with hedges
+// demonstrably winning races and zero wedged attempts.
+func TestHedgingPartBTailWin(t *testing.T) {
+	o := Options{Seed: 1, Scale: 0.1}.normalize()
+	dh, err := workload.ProfileByName("DH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := poissonTrace(o.Seed+42, dh.Name, 5, o.dur(30*time.Minute))
+	hp := cluster.HedgePolicy{Mode: cluster.HedgeDelay, Delay: 400 * time.Millisecond}
+	profiles := []workload.FunctionProfile{dh}
+	base := runHedged(o, tr, profiles, 0, 0.4, time.Millisecond, hedgeRetry(), true, nil)
+	hedged := runHedged(o, tr, profiles, 0, 0.4, time.Millisecond, hedgeRetry(), true, &hp)
+
+	if base.settle.N() != tr.Len() || hedged.settle.N() != tr.Len() {
+		t.Fatalf("settled %d/%d of %d invocations; every dispatch must settle", base.settle.N(), hedged.settle.N(), tr.Len())
+	}
+	if hedged.p99MS() >= base.p99MS() {
+		t.Fatalf("hedged p99 %.1fms not strictly below unhedged %.1fms", hedged.p99MS(), base.p99MS())
+	}
+	if hedged.wins == 0 {
+		t.Fatal("no hedge ever won a race; the tail win would be luck, not mechanism")
+	}
+	if base.wedged != 0 || hedged.wedged != 0 {
+		t.Fatalf("wedged base=%d hedged=%d, want 0/0", base.wedged, hedged.wedged)
+	}
+	if base.hedged != 0 || base.cancelled != 0 {
+		t.Fatalf("unhedged run launched %d hedges, cancelled %d; policy bleed-through", base.hedged, base.cancelled)
+	}
+}
+
+// TestHedgingPartACloneShape checks the PS-model qualitative shape at
+// CI scale: clone:2 does no harm at rho=0.1 (within 20% of unhedged
+// p99) and melts down near saturation (rho=0.8 p99 at least 3x worse).
+func TestHedgingPartACloneShape(t *testing.T) {
+	o := Options{Seed: 1, Scale: 0.1}.normalize()
+	prof, err := workload.ProfileByName("IR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const serviceSecs = 0.24
+	dur := o.dur(4 * time.Minute)
+	clone2 := &cluster.HedgePolicy{Mode: cluster.HedgeClone, Clones: 2}
+	run := func(rho float64, hp *cluster.HedgePolicy) hedgeRun {
+		tr := poissonTrace(o.Seed+41, prof.Name, rho*3/serviceSecs, dur)
+		return runHedged(o, tr, []workload.FunctionProfile{prof}, 1, 1, 0, nil, false, hp)
+	}
+	lowBase, lowClone := run(0.1, nil), run(0.1, clone2)
+	if lowClone.p99MS() > lowBase.p99MS()*1.2 {
+		t.Fatalf("rho=0.1 clone:2 p99 %.1fms vs unhedged %.1fms; cloning must be near-free on an idle rack",
+			lowClone.p99MS(), lowBase.p99MS())
+	}
+	highBase, highClone := run(0.8, nil), run(0.8, clone2)
+	if highClone.p99MS() < highBase.p99MS()*3 {
+		t.Fatalf("rho=0.8 clone:2 p99 %.1fms vs unhedged %.1fms; expected a saturation meltdown",
+			highClone.p99MS(), highBase.p99MS())
+	}
+	for _, r := range []hedgeRun{lowBase, lowClone, highBase, highClone} {
+		if r.wedged != 0 {
+			t.Fatalf("wedged = %d", r.wedged)
+		}
+	}
+}
+
+// TestHedgingExperimentDeterministicAndConcludes: the registered
+// experiment renders byte-identical lines across same-seed runs and its
+// final line reports the Part B p99 cut.
+func TestHedgingExperimentDeterministicAndConcludes(t *testing.T) {
+	o := Options{Seed: 1, Scale: 0.1}
+	r1 := Hedging(o)
+	r2 := Hedging(o)
+	if len(r1.Lines) != len(r2.Lines) {
+		t.Fatalf("same-seed runs produced %d vs %d lines", len(r1.Lines), len(r2.Lines))
+	}
+	for i := range r1.Lines {
+		if r1.Lines[i] != r2.Lines[i] {
+			t.Fatalf("same-seed runs diverge at line %d:\n  %s\n  %s", i, r1.Lines[i], r2.Lines[i])
+		}
+	}
+	last := r1.Lines[len(r1.Lines)-1]
+	if !strings.HasPrefix(last, "hedging cuts") {
+		t.Fatalf("final line %q; Part B did not conclude with a p99 win", last)
+	}
+}

@@ -30,6 +30,9 @@ func BuildReport(ids []string, o Options, results []*Result, lean bool) *report.
 	if o.Chaos != nil && !o.Chaos.Empty() {
 		r.SetFlag("chaos", "on")
 	}
+	if o.Hedge != nil {
+		r.SetFlag("hedge", o.Hedge.Spec())
+	}
 	for _, res := range results {
 		if res != nil {
 			r.AddFigure(res.ID, res.Title, res.Lines)

@@ -150,6 +150,11 @@ type Config struct {
 	// per rack and templates resolve machine-independent offsets.
 	SharedStore *snapshot.Store
 
+	// Deadline, when > 0, bounds each invocation end-to-end from
+	// arrival: an attempt that overruns it terminates with
+	// OutcomeDeadline at its next checkpoint instead of completing.
+	Deadline time.Duration
+
 	// DisableFallback turns off graceful degradation: a restore whose
 	// pool is inside an injected outage window fails the invocation
 	// instead of falling back to a local cold start. The availability
@@ -226,6 +231,10 @@ type Platform struct {
 	// InvokeDispatched to the next invoke() entry (consumed before any
 	// simulated wait, so concurrent invocations cannot observe it).
 	pendingDispatch string
+	// pendingToken carries the dispatcher's cancellation token from
+	// InvokeAttempt to the next invoke() entry, same contract as
+	// pendingDispatch.
+	pendingToken *CancelToken
 
 	// Per-function admission control (MaxPerFunction).
 	running map[string]int
@@ -794,14 +803,24 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 	tArrive := p.Now()
 	dispatcher := pl.pendingDispatch
 	pl.pendingDispatch = ""
+	tok := pl.pendingToken
+	pl.pendingToken = nil
 	seq := pl.invSeq
 	pl.invSeq++
 	// Trace identity is a hash of (node, function, sequence): no
 	// randomness, no wall clock, so same-seed runs reproduce it.
 	traceID := obs.TraceIDFor(pl.nodeName, name, strconv.FormatInt(seq, 10))
+	tok.setTrace(traceID)
+	// An attempt's absolute deadline, or 0 when unbounded. Checked at
+	// the same checkpoints as pl.crashed — cancellation and deadlines
+	// are cooperative, never preemptive.
+	var deadline time.Duration
+	if pl.cfg.Deadline > 0 {
+		deadline = tArrive + pl.cfg.Deadline
+	}
 	// Every invocation terminates in exactly one outcome, delivered to
 	// OnResult on every exit path — nothing is silently lost.
-	res := InvocationResult{Function: name, Node: pl.nodeName, TraceID: traceID, Outcome: OutcomeError}
+	res := InvocationResult{Function: name, Node: pl.nodeName, TraceID: traceID, Outcome: OutcomeError, Token: tok}
 	defer func() {
 		if pl.cfg.OnResult != nil {
 			pl.cfg.OnResult(res)
@@ -817,12 +836,24 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		pl.abortCrashed(&res, traceID, name, tArrive, nil)
 		return
 	}
+	if tok.Cancelled() {
+		pl.abortCancelled(&res, tok, traceID, name, tArrive, nil)
+		return
+	}
 	pl.active++
 	defer func() { pl.active-- }()
 	pl.admit(p, name)
 	defer pl.leave(name)
 	if pl.crashed {
 		pl.abortCrashed(&res, traceID, name, tArrive, nil)
+		return
+	}
+	if tok.Cancelled() {
+		pl.abortCancelled(&res, tok, traceID, name, tArrive, nil)
+		return
+	}
+	if deadline > 0 && p.Now() > deadline {
+		pl.abortDeadline(&res, traceID, name, tArrive, nil)
 		return
 	}
 	// Metrics measure e2e from admission (matching the per-function
@@ -889,6 +920,16 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 		pl.abortCrashed(&res, traceID, name, tArrive, in)
 		return
 	}
+	if tok.Cancelled() {
+		finishRecording(false)
+		pl.abortCancelled(&res, tok, traceID, name, tArrive, in)
+		return
+	}
+	if deadline > 0 && p.Now() > deadline {
+		finishRecording(false)
+		pl.abortDeadline(&res, traceID, name, tArrive, in)
+		return
+	}
 	tUp := p.Now() // startup complete
 	if pl.cfg.PromoteHotAfter > 0 && in.Uses >= pl.cfg.PromoteHotAfter {
 		promoted, err := pl.rt.PromoteWorkingSet(in)
@@ -929,6 +970,16 @@ func (pl *Platform) invoke(p *sim.Proc, name string) {
 	if pl.crashed {
 		finishRecording(false)
 		pl.abortCrashed(&res, traceID, name, tArrive, in)
+		return
+	}
+	if tok.Cancelled() {
+		finishRecording(false)
+		pl.abortCancelled(&res, tok, traceID, name, tArrive, in)
+		return
+	}
+	if deadline > 0 && p.Now() > deadline {
+		finishRecording(false)
+		pl.abortDeadline(&res, traceID, name, tArrive, in)
 		return
 	}
 	tEnd := p.Now()

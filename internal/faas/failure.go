@@ -47,6 +47,10 @@ type InvocationResult struct {
 	Startup      time.Duration
 	FetchLat     time.Duration
 	PrefetchWait time.Duration
+	// Token is the dispatcher's cancellation token when the invocation
+	// was launched via InvokeAttempt (nil otherwise). The cluster
+	// hedger uses it to map a terminal result back to its race.
+	Token *CancelToken
 }
 
 // ErrNodeDown reports an invocation aborted by its node crashing.
@@ -129,6 +133,8 @@ func errType(err error) string {
 		ff *mem.ErrFetchFailed
 		fl *mem.ErrFlakyFetch
 		nd *ErrNodeDown
+		ca *ErrCancelled
+		de *ErrDeadlineExceeded
 	)
 	switch {
 	case errors.As(err, &nm):
@@ -141,6 +147,10 @@ func errType(err error) string {
 		return "flaky-fetch"
 	case errors.As(err, &nd):
 		return "node-down"
+	case errors.As(err, &ca):
+		return "cancelled"
+	case errors.As(err, &de):
+		return "deadline-exceeded"
 	}
 	return ""
 }

@@ -1,0 +1,174 @@
+package faas
+
+// Cooperative cancellation and per-invocation deadlines. The hedging
+// layer in internal/cluster races clone attempts of one invocation
+// across nodes and cancels the losers; the platform aborts a cancelled
+// attempt at the same checkpoints a node crash uses (post-admit,
+// post-start, post-exec), unwinding its instance and page accounting
+// with no simulated cost — nothing useful runs on a loser once the race
+// has settled, so teardown models as free, exactly like crash cleanup.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+const (
+	// OutcomeCancelled was cooperatively cancelled by its dispatcher —
+	// it lost a hedge race. Its instance accounting is unwound like a
+	// crash abort's; another attempt of the same invocation won.
+	OutcomeCancelled Outcome = "cancelled"
+	// OutcomeDeadline exceeded its per-invocation deadline
+	// (Config.Deadline) and was abandoned at a checkpoint.
+	OutcomeDeadline Outcome = "deadline-exceeded"
+	// OutcomeRedispatchExhausted is synthesized by clusters when an
+	// invocation burned through its crash re-dispatch budget; no
+	// platform ever produces it directly.
+	OutcomeRedispatchExhausted Outcome = "redispatch-exhausted"
+)
+
+// ErrCancelled reports an attempt cancelled by its dispatcher after a
+// sibling attempt won the hedge race.
+type ErrCancelled struct {
+	Reason string // why the dispatcher cancelled ("hedge-lost")
+	Winner string // trace ID of the attempt that won ("" when none)
+}
+
+func (e *ErrCancelled) Error() string {
+	if e.Winner == "" {
+		return fmt.Sprintf("faas: attempt cancelled (%s)", e.Reason)
+	}
+	return fmt.Sprintf("faas: attempt cancelled (%s, winner %s)", e.Reason, e.Winner)
+}
+
+// ErrDeadlineExceeded reports an invocation that blew through its
+// per-invocation deadline.
+type ErrDeadlineExceeded struct {
+	Function string
+	Deadline time.Duration
+}
+
+func (e *ErrDeadlineExceeded) Error() string {
+	return fmt.Sprintf("faas: %s exceeded its %s deadline", e.Function, e.Deadline)
+}
+
+// CancelToken lets a dispatcher cancel one in-flight attempt
+// cooperatively: the attempt observes the token at its next checkpoint
+// and terminates with OutcomeCancelled. Cancellation is a one-way
+// latch — cancelling an already-terminal attempt is harmless.
+type CancelToken struct {
+	cancelled bool
+	reason    string
+	winner    string
+	traceID   string
+	meta      any
+}
+
+// NewCancelToken returns an armed token. meta rides along for the
+// dispatcher's own bookkeeping (the cluster hedger stores its race
+// group there) and comes back via Meta on the attempt's result.
+func NewCancelToken(meta any) *CancelToken { return &CancelToken{meta: meta} }
+
+// Cancel latches the token. reason explains why; winner is the trace ID
+// of the attempt that made this one redundant ("" when none).
+func (t *CancelToken) Cancel(reason, winner string) {
+	if t == nil || t.cancelled {
+		return
+	}
+	t.cancelled = true
+	t.reason = reason
+	t.winner = winner
+}
+
+// Cancelled reports whether Cancel has been called. Nil-safe, so the
+// invoke path checks it unconditionally.
+func (t *CancelToken) Cancelled() bool { return t != nil && t.cancelled }
+
+// TraceID returns the attempt's trace ID, stamped when the attempt
+// entered a platform ("" before that).
+func (t *CancelToken) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Meta returns the dispatcher bookkeeping value passed to
+// NewCancelToken (nil for a nil token).
+func (t *CancelToken) Meta() any {
+	if t == nil {
+		return nil
+	}
+	return t.meta
+}
+
+func (t *CancelToken) setTrace(id string) {
+	if t != nil {
+		t.traceID = id
+	}
+}
+
+// SetDeadline sets (or clears, with 0) the per-invocation deadline for
+// every invocation dispatched after the call — clusters use it to push
+// a hedge policy's deadline onto each node.
+func (pl *Platform) SetDeadline(d time.Duration) { pl.cfg.Deadline = d }
+
+// InvokeAttempt is InvokeDispatched for one attempt of a possibly
+// hedged invocation: tok lets the dispatcher cancel the attempt
+// cooperatively, and the terminal InvocationResult carries the token so
+// the dispatcher can map results back to their race.
+func (pl *Platform) InvokeAttempt(p *sim.Proc, function, dispatcher string, tok *CancelToken) {
+	pl.pendingDispatch = dispatcher
+	pl.pendingToken = tok
+	pl.invoke(p, function)
+}
+
+// abortCancelled terminates an attempt whose dispatcher cancelled it:
+// the held instance's accounting is unwound (crash-style, no simulated
+// cost) and the outcome is OutcomeCancelled, span-linked to the winning
+// attempt so the race is walkable loser → winner.
+func (pl *Platform) abortCancelled(res *InvocationResult, tok *CancelToken, traceID, name string, t0 time.Duration, in *core.Instance) {
+	if in != nil {
+		pl.rt.ReleaseCrashed(in)
+	}
+	err := &ErrCancelled{Reason: tok.reason, Winner: tok.winner}
+	res.Outcome = OutcomeCancelled
+	res.Err = err
+	pl.metrics.Cancelled.Inc()
+	if pl.tracer != nil {
+		sp := obs.NewSpan("invoke/"+name, t0, pl.eng.Now())
+		sp.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy)).
+			SetAttr("node", pl.nodeName).SetAttr("error_type", "cancelled").
+			SetAttr("cancel_reason", tok.reason)
+		if tok.winner != "" {
+			sp.AddLink(obs.Link{TraceID: tok.winner, Type: "hedge-lost"})
+		}
+		sp.Fail(err)
+		sp.AssignIDs(traceID)
+		pl.tracer.Record(sp)
+	}
+}
+
+// abortDeadline terminates an attempt that overran Config.Deadline; the
+// held instance's accounting is unwound like a cancellation's.
+func (pl *Platform) abortDeadline(res *InvocationResult, traceID, name string, t0 time.Duration, in *core.Instance) {
+	if in != nil {
+		pl.rt.ReleaseCrashed(in)
+	}
+	err := &ErrDeadlineExceeded{Function: name, Deadline: pl.cfg.Deadline}
+	res.Outcome = OutcomeDeadline
+	res.Err = err
+	pl.metrics.DeadlineExceeded.Inc()
+	if pl.tracer != nil {
+		sp := obs.NewSpan("invoke/"+name, t0, pl.eng.Now())
+		sp.SetAttr("function", name).SetAttr("policy", string(pl.cfg.Policy)).
+			SetAttr("node", pl.nodeName).SetAttr("error_type", "deadline-exceeded")
+		sp.Fail(err)
+		sp.AssignIDs(traceID)
+		pl.tracer.Record(sp)
+	}
+}

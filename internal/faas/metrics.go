@@ -26,18 +26,20 @@ type Metrics struct {
 	PerFn map[string]*FnMetrics
 	All   FnMetrics
 
-	WarmHits      sim.Counter
-	ColdStarts    sim.Counter // sandbox built from scratch
-	Repurposes    sim.Counter
-	Restores      sim.Counter // criu / lazy restores
-	Evictions     sim.Counter
-	Queued        sim.Counter // invocations that waited for a per-function slot
-	Promotions    sim.Counter // hot working sets promoted to local DRAM
-	CleanRestores sim.Counter // Groundhog-style post-request scrubs
-	Errors        sim.Counter
-	Fallbacks     sim.Counter // local cold starts taken because the pool was unavailable
-	Retries       sim.Counter // fetch attempts replayed after injected faults
-	CrashAborts   sim.Counter // invocations aborted by a node crash (re-dispatchable)
+	WarmHits         sim.Counter
+	ColdStarts       sim.Counter // sandbox built from scratch
+	Repurposes       sim.Counter
+	Restores         sim.Counter // criu / lazy restores
+	Evictions        sim.Counter
+	Queued           sim.Counter // invocations that waited for a per-function slot
+	Promotions       sim.Counter // hot working sets promoted to local DRAM
+	CleanRestores    sim.Counter // Groundhog-style post-request scrubs
+	Errors           sim.Counter
+	Fallbacks        sim.Counter // local cold starts taken because the pool was unavailable
+	Retries          sim.Counter // fetch attempts replayed after injected faults
+	CrashAborts      sim.Counter // invocations aborted by a node crash (re-dispatchable)
+	Cancelled        sim.Counter // attempts cooperatively cancelled (hedge losers)
+	DeadlineExceeded sim.Counter // attempts abandoned past Config.Deadline
 
 	// Working-set prefetching (Config.Prefetch). Hits are demand
 	// accesses a batch had covered; Misses are demand fetches the replay
@@ -185,6 +187,8 @@ func (m *Metrics) RegisterLabeled(reg *obs.Registry, labels map[string]string) {
 		{"trenv_fallbacks_total", "Local cold starts taken because the restore pool was unavailable.", &m.Fallbacks},
 		{"trenv_retries_total", "Fetch attempts replayed after injected faults.", &m.Retries},
 		{"trenv_crash_aborts_total", "Invocations aborted by a node crash (re-dispatchable, not errors).", &m.CrashAborts},
+		{"trenv_cancelled_total", "Attempts cooperatively cancelled by their dispatcher (hedge losers).", &m.Cancelled},
+		{"trenv_deadline_exceeded_total", "Attempts abandoned past the per-invocation deadline.", &m.DeadlineExceeded},
 		{"trenv_prefetch_recordings_total", "First runs that recorded a working-set log.", &m.PrefetchRecordings},
 		{"trenv_prefetch_launches_total", "Restores that replayed (or promoted) a sealed working-set log.", &m.PrefetchLaunches},
 		{"trenv_prefetch_batches_total", "Batched fetches issued by working-set replays.", &m.PrefetchBatches},
@@ -255,53 +259,57 @@ type FnExport struct {
 // Export is a serializable view of a run's metrics, for control planes
 // and result files.
 type Export struct {
-	Invocations   int                 `json:"invocations"`
-	WarmHits      int64               `json:"warm_hits"`
-	ColdStarts    int64               `json:"cold_starts"`
-	Repurposes    int64               `json:"repurposes"`
-	Restores      int64               `json:"restores"`
-	Evictions     int64               `json:"evictions"`
-	Queued        int64               `json:"queued"`
-	Promotions    int64               `json:"promotions"`
-	CleanRestores int64               `json:"clean_restores"`
-	Errors        int64               `json:"errors"`
-	Fallbacks     int64               `json:"fallbacks"`
-	Retries       int64               `json:"retries"`
-	CrashAborts   int64               `json:"crash_aborts"`
-	PrefetchHits  int64               `json:"prefetch_hits,omitempty"`
-	PrefetchMiss  int64               `json:"prefetch_misses,omitempty"`
-	PrefetchPages int64               `json:"prefetch_pages,omitempty"`
-	PromotedPages int64               `json:"promoted_pages,omitempty"`
-	E2EP50Ms      float64             `json:"e2e_p50_ms"`
-	E2EP99Ms      float64             `json:"e2e_p99_ms"`
-	StartupP99Ms  float64             `json:"startup_p99_ms"`
-	PerFunction   map[string]FnExport `json:"per_function"`
+	Invocations      int                 `json:"invocations"`
+	WarmHits         int64               `json:"warm_hits"`
+	ColdStarts       int64               `json:"cold_starts"`
+	Repurposes       int64               `json:"repurposes"`
+	Restores         int64               `json:"restores"`
+	Evictions        int64               `json:"evictions"`
+	Queued           int64               `json:"queued"`
+	Promotions       int64               `json:"promotions"`
+	CleanRestores    int64               `json:"clean_restores"`
+	Errors           int64               `json:"errors"`
+	Fallbacks        int64               `json:"fallbacks"`
+	Retries          int64               `json:"retries"`
+	CrashAborts      int64               `json:"crash_aborts"`
+	Cancelled        int64               `json:"cancelled,omitempty"`
+	DeadlineExceeded int64               `json:"deadline_exceeded,omitempty"`
+	PrefetchHits     int64               `json:"prefetch_hits,omitempty"`
+	PrefetchMiss     int64               `json:"prefetch_misses,omitempty"`
+	PrefetchPages    int64               `json:"prefetch_pages,omitempty"`
+	PromotedPages    int64               `json:"promoted_pages,omitempty"`
+	E2EP50Ms         float64             `json:"e2e_p50_ms"`
+	E2EP99Ms         float64             `json:"e2e_p99_ms"`
+	StartupP99Ms     float64             `json:"startup_p99_ms"`
+	PerFunction      map[string]FnExport `json:"per_function"`
 }
 
 // Export snapshots the metrics into a serializable structure.
 func (m *Metrics) Export() Export {
 	out := Export{
-		Invocations:   m.Invocations(),
-		WarmHits:      m.WarmHits.Value(),
-		ColdStarts:    m.ColdStarts.Value(),
-		Repurposes:    m.Repurposes.Value(),
-		Restores:      m.Restores.Value(),
-		Evictions:     m.Evictions.Value(),
-		Queued:        m.Queued.Value(),
-		Promotions:    m.Promotions.Value(),
-		CleanRestores: m.CleanRestores.Value(),
-		Errors:        m.Errors.Value(),
-		Fallbacks:     m.Fallbacks.Value(),
-		Retries:       m.Retries.Value(),
-		CrashAborts:   m.CrashAborts.Value(),
-		PrefetchHits:  m.PrefetchHits.Value(),
-		PrefetchMiss:  m.PrefetchMisses.Value(),
-		PrefetchPages: m.PrefetchPages.Value(),
-		PromotedPages: m.PromotedPages.Value(),
-		E2EP50Ms:      m.All.E2E.Percentile(50),
-		E2EP99Ms:      m.All.E2E.Percentile(99),
-		StartupP99Ms:  m.All.Startup.Percentile(99),
-		PerFunction:   make(map[string]FnExport, len(m.PerFn)),
+		Invocations:      m.Invocations(),
+		WarmHits:         m.WarmHits.Value(),
+		ColdStarts:       m.ColdStarts.Value(),
+		Repurposes:       m.Repurposes.Value(),
+		Restores:         m.Restores.Value(),
+		Evictions:        m.Evictions.Value(),
+		Queued:           m.Queued.Value(),
+		Promotions:       m.Promotions.Value(),
+		CleanRestores:    m.CleanRestores.Value(),
+		Errors:           m.Errors.Value(),
+		Fallbacks:        m.Fallbacks.Value(),
+		Retries:          m.Retries.Value(),
+		CrashAborts:      m.CrashAborts.Value(),
+		Cancelled:        m.Cancelled.Value(),
+		DeadlineExceeded: m.DeadlineExceeded.Value(),
+		PrefetchHits:     m.PrefetchHits.Value(),
+		PrefetchMiss:     m.PrefetchMisses.Value(),
+		PrefetchPages:    m.PrefetchPages.Value(),
+		PromotedPages:    m.PromotedPages.Value(),
+		E2EP50Ms:         m.All.E2E.Percentile(50),
+		E2EP99Ms:         m.All.E2E.Percentile(99),
+		StartupP99Ms:     m.All.Startup.Percentile(99),
+		PerFunction:      make(map[string]FnExport, len(m.PerFn)),
 	}
 	for name, fm := range m.PerFn {
 		out.PerFunction[name] = FnExport{

@@ -159,6 +159,40 @@ func NewMultiRack(racks, nodesPerRack int, cfg ContainerConfig) (*MultiRack, err
 	return cluster.NewMultiRack(racks, nodesPerRack, cfg)
 }
 
+// HedgePolicy configures request hedging / speculative cloning on a
+// Cluster or MultiRack dispatcher (SetHedgePolicy).
+type HedgePolicy = cluster.HedgePolicy
+
+// HedgeMode selects how a hedge policy triggers extra attempts.
+type HedgeMode = cluster.HedgeMode
+
+// Hedge trigger modes: off, fixed delay, observed-percentile delay, or
+// eager cloning at dispatch time.
+const (
+	HedgeOff        = cluster.HedgeOff
+	HedgeDelay      = cluster.HedgeDelay
+	HedgePercentile = cluster.HedgePercentile
+	HedgeClone      = cluster.HedgeClone
+)
+
+// ParseHedgePolicy parses the hedge-policy grammar shared by
+// trenv-bench -hedge and trenvd -hedge-policy: "off", "delay:<dur>",
+// "p<pct>", or "clone:<n>", with optional "min=", "fallback=",
+// "samples=", and "deadline=" modifiers.
+func ParseHedgePolicy(spec string) (HedgePolicy, error) {
+	return cluster.ParseHedgePolicy(spec)
+}
+
+// Invocation outcomes surfaced by the hedging dispatcher, re-exported
+// for result-hook consumers: losing attempts are cancelled, deadlines
+// produce deadline-exceeded, and invocations that outlive their crash
+// re-dispatch budget settle as redispatch-exhausted.
+const (
+	OutcomeCancelled           = faas.OutcomeCancelled
+	OutcomeDeadlineExceeded    = faas.OutcomeDeadline
+	OutcomeRedispatchExhausted = faas.OutcomeRedispatchExhausted
+)
+
 // ---------------------------------------------------------------------
 // Workloads.
 
