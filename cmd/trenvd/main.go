@@ -8,7 +8,7 @@
 //	trenvd [-addr :8080] [-policy trenv-cxl] [-seed 1] [-node n0]
 //	       [-slo-target-ms 0] [-slo-objective 0.99] [-sample-ms 100]
 //	       [-prefetch] [-promote-threshold 0] [-pprof] [-rules <spec>]
-//	       [-hedge-policy <spec>] [-hedge-delay <dur>]
+//	       [-hedge-policy <spec>] [-hedge-delay <dur>] [-shards N]
 //	trenvd -version
 //
 // -node labels every exported series (node="n0") so several trenvd
@@ -27,7 +27,10 @@
 // served on /alerts; -hedge-policy arms a request-hedging policy
 // ("delay:<dur>", "p<pct>", "clone:<n>" — README has the grammar) on
 // every cluster POST /experiments/run builds, and -hedge-delay is
-// shorthand for "delay:<dur>"; -version prints the build and exits.
+// shorthand for "delay:<dur>"; -shards sets the worker parallelism for
+// sharded-fleet runs under POST /experiments/run — physical parallelism
+// only, so every byte the daemon serves (including /report bundles) is
+// invariant of it; -version prints the build and exits.
 //
 // Endpoints:
 //
@@ -105,6 +108,7 @@ type server struct {
 	started  time.Time             // wall-clock start, denominator for /selfstats rates
 	pprof    bool                  // serve /debug/pprof/ when set
 	hedge    *trenv.HedgePolicy    // armed on every cluster POST /experiments/run builds
+	shards   int                   // worker parallelism for sharded-fleet experiment runs
 }
 
 // serverOptions parameterize the control plane beyond policy and seed.
@@ -120,6 +124,7 @@ type serverOptions struct {
 	pprof        bool          // serve net/http/pprof under /debug/pprof/
 	rules        []trenv.AlertRule
 	hedge        *trenv.HedgePolicy // hedge policy for POST /experiments/run clusters
+	shards       int                // worker parallelism for sharded-fleet experiment runs
 }
 
 // newServer builds the control plane over a fresh simulated platform
@@ -180,6 +185,7 @@ func newServerWith(o serverOptions) *server {
 		started:  time.Now(),
 		pprof:    o.pprof,
 		hedge:    o.hedge,
+		shards:   o.shards,
 	}
 }
 
@@ -270,6 +276,7 @@ func main() {
 	hedgePolicy := flag.String("hedge-policy", "", "request-hedging policy for POST /experiments/run clusters, e.g. 'delay:50ms', 'p95', 'clone:2'")
 	hedgeDelay := flag.Duration("hedge-delay", 0, "shorthand for -hedge-policy delay:<dur>")
 	drain := flag.Duration("drain-timeout", 5*time.Second, "bounded drain window for graceful shutdown on SIGINT/SIGTERM")
+	shards := flag.Int("shards", 0, "worker parallelism for sharded-fleet runs under POST /experiments/run (0 = sequential; every served byte is invariant of it)")
 	pprofOn := flag.Bool("pprof", false, "serve Go net/http/pprof profiles under /debug/pprof/")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -318,6 +325,7 @@ func main() {
 		pprof:        *pprofOn,
 		rules:        rules,
 		hedge:        hedge,
+		shards:       *shards,
 	})
 	srv := &http.Server{Addr: *addr, Handler: s.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -829,7 +837,7 @@ func (s *server) runExperiment(w http.ResponseWriter, r *http.Request) {
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
-	res, ok := trenv.RunExperiment(req.ID, trenv.ExperimentOptions{Seed: req.Seed, Scale: req.Scale, Hedge: s.hedge})
+	res, ok := trenv.RunExperiment(req.ID, trenv.ExperimentOptions{Seed: req.Seed, Scale: req.Scale, Hedge: s.hedge, Shards: s.shards})
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown experiment %q", req.ID)
 		return

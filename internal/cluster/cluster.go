@@ -59,7 +59,10 @@ func New(n int, cfg faas.Config) (*Cluster, error) {
 	if cfg.Policy != faas.PolicyTrEnvCXL {
 		return nil, fmt.Errorf("cluster: rack sharing requires trenv-cxl, got %q", cfg.Policy)
 	}
-	eng := sim.NewEngine(cfg.Seed)
+	eng := cfg.Engine
+	if eng == nil {
+		eng = sim.NewEngine(cfg.Seed)
+	}
 	cxl := mem.NewPool(mem.CXL, cfg.CXLCapacity, mem.DefaultLatencyModel())
 	// The shared pool lives on the rack's memory server, not on any
 	// compute node — remote-fetch spans report it as their home.
@@ -70,7 +73,9 @@ func New(n int, cfg faas.Config) (*Cluster, error) {
 		nodeCfg := cfg
 		nodeCfg.Engine = eng
 		nodeCfg.SharedStore = store
-		nodeCfg.Node = fmt.Sprintf("n%d", i)
+		// cfg.Node acts as a rack prefix ("" keeps the classic n0..nN
+		// names; the sharded fleet passes "r2" to get "r2n0"...).
+		nodeCfg.Node = fmt.Sprintf("%sn%d", cfg.Node, i)
 		idx := i
 		userHook := cfg.OnResult
 		nodeCfg.OnResult = func(r faas.InvocationResult) {

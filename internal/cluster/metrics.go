@@ -78,9 +78,11 @@ func registerFleetAggregates(reg *obs.Registry, nodes []*faas.Platform, alive fu
 	reg.GaugeFunc("trenv_cluster_nodes_alive", "Nodes currently in rotation.", nil, alive)
 }
 
-// registerHedger publishes the dispatch-layer counters both topologies
-// share: crash re-dispatch, hedging, cancellation, and exhaustion.
-func registerHedger(reg *obs.Registry, h *hedger) {
+// registerHedger publishes the dispatch-layer counters every topology
+// shares: crash re-dispatch, hedging, cancellation, and exhaustion.
+// labels distinguishes multiple hedgers in one registry (the sharded
+// fleet has one per rack); nil keeps the classic unlabeled series.
+func registerHedger(reg *obs.Registry, h *hedger, labels map[string]string) {
 	counters := []struct {
 		name, help string
 		c          *sim.Counter
@@ -93,7 +95,7 @@ func registerHedger(reg *obs.Registry, h *hedger) {
 		{"trenv_redispatch_exhausted_total", "Invocations abandoned after exhausting their re-dispatch budget.", &h.exhausted},
 	}
 	for _, c := range counters {
-		reg.CounterFunc(c.name, c.help, nil, c.c.Value)
+		reg.CounterFunc(c.name, c.help, labels, c.c.Value)
 	}
 }
 
@@ -102,8 +104,8 @@ func registerHedger(reg *obs.Registry, h *hedger) {
 // template registry once under scope="rack", and trenv_cluster_*
 // aggregates that always equal the sum of the per-node series.
 func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
-	for i, node := range c.nodes {
-		node.RegisterMetricsLabeled(reg, map[string]string{"node": fmt.Sprintf("n%d", i)})
+	for _, node := range c.nodes {
+		node.RegisterMetricsLabeled(reg, map[string]string{"node": node.NodeName()})
 	}
 	rack := map[string]string{"scope": "rack"}
 	c.cxl.RegisterMetricsLabeled(reg, rack)
@@ -111,8 +113,8 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 	registerFleetAggregates(reg, c.nodes, func() float64 { return float64(len(c.AliveNodes())) })
 	reg.GaugeFunc("trenv_cluster_dedup_factor", "Logical/unique bytes for the rack's consolidated images.", rack,
 		c.DedupFactor)
-	registerBreakers(reg, c.breakers, func(i int) string { return fmt.Sprintf("n%d", i) })
-	registerHedger(reg, c.hedge)
+	registerBreakers(reg, c.breakers, func(i int) string { return c.nodes[i].NodeName() })
+	registerHedger(reg, c.hedge, nil)
 	if c.chaos != nil {
 		c.chaos.RegisterMetrics(reg, nil)
 	}
@@ -159,7 +161,7 @@ func (m *MultiRack) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("trenv_cluster_spillovers_total", "Invocations dispatched off their home rack.", nil,
 		m.spillovers.Value)
 	registerBreakers(reg, m.breakers, func(i int) string { return nodes[i].NodeName() })
-	registerHedger(reg, m.hedge)
+	registerHedger(reg, m.hedge, nil)
 	if m.chaos != nil {
 		m.chaos.RegisterMetrics(reg, nil)
 	}

@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DefaultSpillDelay is the cross-rack dispatch-forwarding latency of the
+// sharded fleet — the RPC hop plus fabric queueing that a request pays
+// when its home rack is saturated and it re-dispatches elsewhere. It is
+// also the shard group's conservative lookahead: no rack can influence
+// another in less virtual time than this, which is what lets the racks'
+// event loops run in parallel between synchronization horizons.
+const DefaultSpillDelay = 200 * time.Microsecond
+
+// ShardedConfig sizes a ShardedFleet.
+type ShardedConfig struct {
+	// Racks is the number of shards; each rack is a full Cluster (own
+	// CXL pool, snapshot store, nodes, breakers, hedger) on its own
+	// simulation engine.
+	Racks int
+	// NodesPerRack sizes each rack.
+	NodesPerRack int
+	// SpillDelay is the cross-rack forwarding latency and shard
+	// lookahead (0 = DefaultSpillDelay). Larger values widen the
+	// synchronization windows — more parallelism, laggier spillover.
+	SpillDelay time.Duration
+	// TraceCap, when > 0, attaches one span tracer per rack with this
+	// ring capacity; Spans() merges them deterministically.
+	TraceCap int
+	// Workers is the number of OS goroutines executing rack windows in
+	// parallel (0 or 1 = sequential). Workers changes wall-clock speed
+	// only — the schedule, and therefore every exported artifact, is
+	// byte-identical at any worker count.
+	Workers int
+}
+
+// ShardedFleet is the parallel counterpart of MultiRack: racks become
+// independently-advancing event queues (one sim.Engine each, own heap,
+// sequence counter, and rng stream) coordinated by a sim.ShardGroup, and
+// the only cross-rack coupling — spillover dispatch from a saturated
+// home rack — travels as a timestamped message delivered at a
+// deterministic synchronization horizon.
+//
+// Two deliberate departures from MultiRack keep the shards causally
+// closed: every rack holds its own consolidated replica of each function
+// image (a cross-rack pool read would couple two shards below the
+// lookahead), and spillover targets are chosen blindly by per-home-rack
+// round robin (reading another rack's load would do the same). Hedging,
+// crash re-dispatch, and breaker routing all stay intra-rack.
+type ShardedFleet struct {
+	group      *sim.ShardGroup
+	racks      []*Cluster
+	tracers    []*obs.Tracer
+	homes      map[string]int
+	regOrder   int
+	spillDelay time.Duration
+	seed       int64
+	scale      float64
+
+	// Per-rack state written only by that rack's shard (single-writer,
+	// race-free under parallel windows); summed after the run.
+	spillsFrom []int64
+	spillRR    []int
+}
+
+// NewShardedFleet builds sc.Racks racks of sc.NodesPerRack nodes. cfg
+// must use TrEnvCXL (each rack is a Cluster); cfg.Engine must be nil —
+// the fleet derives one engine per rack from cfg.Seed.
+func NewShardedFleet(sc ShardedConfig, cfg faas.Config) (*ShardedFleet, error) {
+	if sc.Racks <= 0 || sc.NodesPerRack <= 0 {
+		return nil, fmt.Errorf("cluster: need positive rack/node counts, got %d x %d", sc.Racks, sc.NodesPerRack)
+	}
+	if cfg.Engine != nil {
+		return nil, fmt.Errorf("cluster: sharded fleet owns its engines; cfg.Engine must be nil")
+	}
+	delay := sc.SpillDelay
+	if delay <= 0 {
+		delay = DefaultSpillDelay
+	}
+	f := &ShardedFleet{
+		group:      sim.NewShardGroup(cfg.Seed, sc.Racks, delay),
+		homes:      make(map[string]int),
+		spillDelay: delay,
+		seed:       cfg.Seed,
+		spillsFrom: make([]int64, sc.Racks),
+		spillRR:    make([]int, sc.Racks),
+	}
+	f.group.SetWorkers(sc.Workers)
+	for ri := 0; ri < sc.Racks; ri++ {
+		rackCfg := cfg
+		rackCfg.Engine = f.group.Shard(ri)
+		rackCfg.Node = fmt.Sprintf("r%d", ri) // prefix: nodes become r<ri>n<j>
+		if sc.TraceCap > 0 {
+			tr := obs.NewTracer(sc.TraceCap)
+			rackCfg.Tracer = tr
+			f.tracers = append(f.tracers, tr)
+		}
+		rack, err := New(sc.NodesPerRack, rackCfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: rack %d: %w", ri, err)
+		}
+		f.racks = append(f.racks, rack)
+	}
+	return f, nil
+}
+
+// Group returns the shard coordinator.
+func (f *ShardedFleet) Group() *sim.ShardGroup { return f.group }
+
+// Racks returns the per-rack clusters (shard order).
+func (f *ShardedFleet) Racks() []*Cluster { return f.racks }
+
+// Seed returns the fleet's base seed (rack i's engine derives from it).
+func (f *ShardedFleet) Seed() int64 { return f.seed }
+
+// Register deploys a function on every rack (one consolidated replica
+// each) and homes its dispatch on racks in registration round-robin
+// order — a pure function of registration sequence, so homing never
+// depends on map iteration.
+func (f *ShardedFleet) Register(prof workload.FunctionProfile) error {
+	if _, ok := f.homes[prof.Name]; ok {
+		return fmt.Errorf("cluster: function %q already registered", prof.Name)
+	}
+	for ri, rack := range f.racks {
+		if err := rack.Register(prof); err != nil {
+			return fmt.Errorf("cluster: rack %d: %w", ri, err)
+		}
+	}
+	f.homes[prof.Name] = f.regOrder % len(f.racks)
+	f.regOrder++
+	return nil
+}
+
+// Home returns the rack a function's dispatch is homed on.
+func (f *ShardedFleet) Home(fn string) int { return f.homes[fn] }
+
+// Invoke schedules one invocation at virtual time at on the function's
+// home rack; placement (and a possible spill) is decided when the time
+// arrives, on that rack's shard.
+func (f *ShardedFleet) Invoke(at time.Duration, fn string) {
+	home, ok := f.homes[fn]
+	if !ok {
+		panic(fmt.Sprintf("cluster: invoke of unregistered function %q", fn))
+	}
+	eng := f.group.Shard(home)
+	eng.At(at, "dispatch/"+fn, func(p *sim.Proc) { f.dispatchOn(home, p, fn) })
+}
+
+// dispatchOn places fn on rack ri, or spills it. The decision reads only
+// rack ri's state: if any healthy node holds a warm instance or an idle
+// core, dispatch locally; otherwise forward to the next rack in ri's
+// round-robin rotation after the fabric delay. Spilled arrivals always
+// dispatch locally at the target — one hop, no ping-pong.
+func (f *ShardedFleet) dispatchOn(ri int, p *sim.Proc, fn string) {
+	rack := f.racks[ri]
+	if len(f.racks) == 1 || f.rackHasRoom(rack, fn) {
+		rack.hedge.dispatch(p, fn, "rack")
+		return
+	}
+	f.spillsFrom[ri]++
+	target := f.nextSpillTarget(ri)
+	f.group.Send(ri, target, f.spillDelay, func() {
+		f.group.Shard(target).Go("spill/"+fn, func(p2 *sim.Proc) {
+			f.racks[target].hedge.dispatch(p2, fn, "fleet-spill")
+		})
+	})
+}
+
+// rackHasRoom reports whether the rack can take fn without queueing
+// behind saturated cores: a warm instance or an idle core on any
+// healthy node.
+func (f *ShardedFleet) rackHasRoom(rack *Cluster, fn string) bool {
+	for _, node := range rack.healthyNodes() {
+		if node.HasWarm(fn) || node.Active() < node.Cores() {
+			return true
+		}
+	}
+	return false
+}
+
+// nextSpillTarget rotates rack ri's private round-robin cursor over the
+// other racks. Blind by design: reading another shard's load during a
+// window would break causal closure, so the fleet trades placement
+// quality for parallelism on the spill path.
+func (f *ShardedFleet) nextSpillTarget(ri int) int {
+	f.spillRR[ri]++
+	return (ri + f.spillRR[ri]) % len(f.racks)
+}
+
+// RunTrace dispatches a trace across the fleet and advances every rack
+// in synchronization windows to completion. Unlike Cluster and
+// MultiRack, the sharded fleet has no recorder pump: sampling one
+// registry across concurrently-advancing shards would need a global
+// clock inside windows. Gather metrics after the run instead.
+func (f *ShardedFleet) RunTrace(tr workload.Trace) {
+	for _, inv := range tr {
+		f.Invoke(inv.At, inv.Function)
+	}
+	f.group.Run()
+}
+
+// Spillovers counts invocations forwarded off their home rack.
+func (f *ShardedFleet) Spillovers() int64 {
+	var n int64
+	for _, s := range f.spillsFrom {
+		n += s
+	}
+	return n
+}
+
+// Invocations sums recorded invocations across all racks.
+func (f *ShardedFleet) Invocations() int {
+	n := 0
+	for _, rack := range f.racks {
+		n += rack.Invocations()
+	}
+	return n
+}
+
+// Dispatched sums primary dispatches across the racks' hedgers.
+func (f *ShardedFleet) Dispatched() int64 {
+	var n int64
+	for _, rack := range f.racks {
+		n += rack.Dispatched()
+	}
+	return n
+}
+
+// Wedged sums the racks' no-loss balances; zero after RunTrace means no
+// attempt was lost anywhere in the fleet.
+func (f *ShardedFleet) Wedged() int64 {
+	var n int64
+	for _, rack := range f.racks {
+		n += rack.Wedged()
+	}
+	return n
+}
+
+// Events sums executed events across every shard.
+func (f *ShardedFleet) Events() int64 { return f.group.Events() }
+
+// Spans merges the racks' span rings into one virtual-time-ordered
+// list: concatenate in rack order (deterministic), then stable-sort by
+// start time, so the result is a pure function of the logical schedule
+// and identical at any worker count.
+func (f *ShardedFleet) Spans() []*obs.Span {
+	var all []*obs.Span
+	for _, tr := range f.tracers {
+		all = append(all, tr.Spans()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+	return all
+}
+
+// RegisterMetrics publishes the fleet into reg: every node under
+// rack/node labels, each rack's pool, registry, breakers, and hedger
+// under its rack label, per-rack spill counters, fleet-wide
+// trenv_cluster_* aggregates, and the shard coordinator's window and
+// message counters under scope="shard".
+func (f *ShardedFleet) RegisterMetrics(reg *obs.Registry) {
+	var nodes []*faas.Platform
+	for ri, rack := range f.racks {
+		rackName := fmt.Sprintf("r%d", ri)
+		for _, node := range rack.nodes {
+			node.RegisterMetricsLabeled(reg, map[string]string{"rack": rackName, "node": node.NodeName()})
+		}
+		rackLabels := map[string]string{"scope": "rack", "rack": rackName}
+		rack.cxl.RegisterMetricsLabeled(reg, rackLabels)
+		rack.store.Registry().RegisterMetrics(reg, rackLabels)
+		registerBreakers(reg, rack.breakers, func(i int) string { return rack.nodes[i].NodeName() })
+		registerHedger(reg, rack.hedge, map[string]string{"rack": rackName})
+		ri := ri
+		reg.CounterFunc("trenv_rack_spillovers_total", "Invocations forwarded off this home rack.",
+			map[string]string{"rack": rackName}, func() int64 { return f.spillsFrom[ri] })
+		nodes = append(nodes, rack.nodes...)
+	}
+	alive := func() float64 {
+		n := 0
+		for _, rack := range f.racks {
+			n += len(rack.AliveNodes())
+		}
+		return float64(n)
+	}
+	registerFleetAggregates(reg, nodes, alive)
+	reg.CounterFunc("trenv_cluster_spillovers_total", "Invocations dispatched off their home rack.", nil,
+		f.Spillovers)
+	shard := map[string]string{"scope": "shard"}
+	reg.CounterFunc("trenv_shard_windows_total", "Synchronization windows the shard group has run.", shard,
+		f.group.Windows)
+	reg.CounterFunc("trenv_shard_messages_total", "Cross-shard messages delivered at horizons.", shard,
+		f.group.Messages)
+	reg.GaugeFunc("trenv_shard_lookahead_seconds", "Conservative lookahead (= spill delay) in seconds.", shard,
+		f.group.Lookahead().Seconds)
+}

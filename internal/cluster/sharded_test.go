@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faas"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+func newShardedFleet(t *testing.T, racks, workers int) *ShardedFleet {
+	t.Helper()
+	cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
+	cfg.Seed = 1
+	f, err := NewShardedFleet(ShardedConfig{
+		Racks:        racks,
+		NodesPerRack: 2,
+		TraceCap:     4096,
+		Workers:      workers,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range workload.Table4() {
+		if err := f.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func shardedTestTrace() workload.Trace {
+	var fns []string
+	for _, p := range workload.Table4() {
+		fns = append(fns, p.Name)
+	}
+	az := workload.AzureConfig(fns)
+	az.Duration = 2 * time.Minute
+	az.MeanPerMin = 60
+	return workload.Industrial(rand.New(rand.NewSource(3)), az)
+}
+
+// runShardedExports runs a fixed trace and returns two export surfaces
+// the byte-identity contract covers: the Prometheus text and a digest
+// of the merged span list. (The report-bundle surface is asserted in
+// the report package, which sits above this one.)
+func runShardedExports(t *testing.T, workers int) (string, string) {
+	t.Helper()
+	f := newShardedFleet(t, 4, workers)
+	f.RunTrace(shardedTestTrace())
+	if f.Wedged() != 0 {
+		t.Fatalf("workers=%d: wedged=%d, want 0", workers, f.Wedged())
+	}
+	reg := obs.NewRegistry()
+	f.RegisterMetrics(reg)
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	var spans strings.Builder
+	for _, sp := range f.Spans() {
+		fmt.Fprintf(&spans, "%s %s %d %d\n", sp.TraceID, sp.Name, sp.Start, sp.End)
+	}
+	return prom.String(), spans.String()
+}
+
+func TestShardedFleetRunsTraceAndSpills(t *testing.T) {
+	f := newShardedFleet(t, 2, 1)
+	tr := shardedTestTrace()
+	f.RunTrace(tr)
+	if got := f.Invocations(); got != len(tr) {
+		t.Fatalf("invocations = %d, want %d", got, len(tr))
+	}
+	if f.Wedged() != 0 {
+		t.Fatalf("wedged = %d, want 0", f.Wedged())
+	}
+	if f.Group().Windows() == 0 {
+		t.Fatal("no synchronization windows ran")
+	}
+	if len(f.Spans()) == 0 {
+		t.Fatal("no spans recorded")
+	}
+}
+
+// The fleet's logical schedule — and therefore every exported artifact —
+// must be byte-identical at any worker count.
+func TestShardedFleetInvariantOfWorkerCount(t *testing.T) {
+	promWant, reportWant := runShardedExports(t, 1)
+	if !strings.Contains(promWant, "trenv_shard_windows_total") {
+		t.Fatal("shard coordinator series missing from export")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		prom, spans := runShardedExports(t, workers)
+		if prom != promWant {
+			t.Fatalf("workers=%d: Prometheus export differs from workers=1", workers)
+		}
+		if spans != reportWant {
+			t.Fatalf("workers=%d: merged span export differs from workers=1", workers)
+		}
+	}
+}
+
+// Saturating a single home rack must spill work to peers over the
+// fabric, and the spilled invocations must still all complete.
+func TestShardedFleetSpillover(t *testing.T) {
+	cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
+	cfg.Seed = 1
+	cfg.Cores = 2 // tiny nodes so a burst saturates the home rack
+	f, err := NewShardedFleet(ShardedConfig{Racks: 2, NodesPerRack: 2, Workers: 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range workload.Table4() {
+		if err := f.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	home := f.Home("JS")
+	// Staggered burst far beyond one rack's four cores: JS runs 120ms+,
+	// so arrivals 1ms apart pile up well past saturation.
+	var tr workload.Trace
+	for i := 0; i < 64; i++ {
+		tr = append(tr, workload.Invocation{At: time.Duration(i+1) * time.Millisecond, Function: "JS"})
+	}
+	f.RunTrace(tr)
+	if f.Spillovers() == 0 {
+		t.Fatal("burst on one home rack produced no spillovers")
+	}
+	if f.spillsFrom[home] == 0 {
+		t.Fatalf("spills did not originate from home rack %d", home)
+	}
+	if got := f.Invocations(); got != 64 {
+		t.Fatalf("invocations = %d, want 64", got)
+	}
+	if f.Wedged() != 0 {
+		t.Fatalf("wedged = %d, want 0", f.Wedged())
+	}
+	if f.Group().Messages() == 0 {
+		t.Fatal("spillovers without cross-shard messages")
+	}
+}
+
+// Registration and homing must be pure functions of registration order.
+func TestShardedFleetHomingDeterministic(t *testing.T) {
+	f := newShardedFleet(t, 3, 1)
+	g := newShardedFleet(t, 3, 1)
+	for _, p := range workload.Table4() {
+		if f.Home(p.Name) != g.Home(p.Name) {
+			t.Fatalf("homing for %q differs between identical fleets", p.Name)
+		}
+	}
+	if err := f.Register(workload.Table4()[0]); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}

@@ -462,6 +462,52 @@ func addResults(a, b AccessResult) AccessResult {
 	return a
 }
 
+// poolTally accumulates per-pool page counts without heap allocation:
+// a VMA's pages rarely span more than a few pools, so the common case
+// fits the inline array and lives on accessVMA's stack. Pools are kept
+// in first-seen (page-order) position; overflow beyond the inline
+// capacity spills to a map, drained via the same deterministic sort the
+// fetch path applies before any rng draw.
+type poolTally struct {
+	pools    [4]*mem.Pool
+	counts   [4]int
+	len      int
+	overflow map[*mem.Pool]int
+}
+
+func (t *poolTally) add(p *mem.Pool) {
+	for i := 0; i < t.len; i++ {
+		if t.pools[i] == p {
+			t.counts[i]++
+			return
+		}
+	}
+	if t.len < len(t.pools) {
+		t.pools[t.len] = p
+		t.counts[t.len] = 1
+		t.len++
+		return
+	}
+	if t.overflow == nil {
+		t.overflow = make(map[*mem.Pool]int)
+	}
+	t.overflow[p]++
+}
+
+// each visits every (pool, count) pair in inline-then-overflow order.
+// Callers that draw randomness per pool must sort first (see pairs).
+func (t *poolTally) each(fn func(p *mem.Pool, n int)) {
+	for i := 0; i < t.len; i++ {
+		fn(t.pools[i], t.counts[i])
+	}
+	for p, n := range t.overflow {
+		fn(p, n)
+	}
+}
+
+// empty reports whether nothing was tallied.
+func (t *poolTally) empty() bool { return t.len == 0 && len(t.overflow) == 0 }
+
 // accessVMA touches pages [first, first+count) of v.
 func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, write bool) (AccessResult, error) {
 	var res AccessResult
@@ -478,9 +524,8 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 		return res, &ErrProt{VMA: v.Name, Write: false}
 	}
 	var toZero int
-	fetch := make(map[*mem.Pool]int) // per-pool major-fault fetch batches
-	cow := make(map[*mem.Pool]int)   // per-pool CoW copies
-	direct := make(map[*mem.Pool]int)
+	var fetch, cow, direct poolTally // per-pool batches, stack-allocated
+	var cowTotal, fetchTotal int
 	segIdx := 0
 	poolFor := func(i int) *mem.Pool {
 		if v.redirect != nil {
@@ -529,18 +574,20 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 			}
 		case Unmapped:
 			toZero++
-			v.setState(i, Local)
+			v.states[i] = Local
 		case RemoteDirect:
 			p := poolFor(i)
 			if write {
-				cow[p]++
-				v.setState(i, Local)
+				cow.add(p)
+				cowTotal++
+				v.states[i] = Local
 			} else {
-				direct[p]++
+				direct.add(p)
 			}
 		case RemoteLazy:
 			p := poolFor(i)
-			fetch[p]++
+			fetch.add(p)
+			fetchTotal++
 			if record {
 				if runLen > 0 && p == runPool && i == runFirst+runLen {
 					runLen++
@@ -549,9 +596,15 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 					runPool, runFirst, runLen = p, i, 1
 				}
 			}
-			v.setState(i, Local)
+			v.states[i] = Local
 		}
 	}
+	// Batched counterpart of per-page setState: one counts update per
+	// transition class instead of two per page.
+	v.counts[Unmapped] -= toZero
+	v.counts[RemoteDirect] -= cowTotal
+	v.counts[RemoteLazy] -= fetchTotal
+	v.counts[Local] += toZero + cowTotal + fetchTotal
 	if record {
 		flushRun()
 	}
@@ -578,66 +631,75 @@ func (as *AddressSpace) accessVMA(rng *rand.Rand, v *VMA, first, count int, writ
 			return res, err
 		}
 	}
-	for pool, n := range cow {
+	var cowErr error
+	cow.each(func(pool *mem.Pool, n int) {
+		if cowErr != nil {
+			return
+		}
 		res.MinorFaults += n
 		res.CowPages += n
 		lat += time.Duration(n) * as.lat.MinorFaultOverhead
 		lat += pool.DirectAccessCost(n) // source read over CXL
 		lat += time.Duration(n) * as.lat.CowPageCopy
-		if err := as.allocLocal(int64(n) * mem.PageSize); err != nil {
-			return res, err
-		}
-	}
-	// Iterate fetch pools in a fixed order: fault verdicts and retry
-	// backoff draw from rng per pool, so map order would leak into the
-	// simulation's random stream.
-	fetchPools := make([]*mem.Pool, 0, len(fetch))
-	for pool := range fetch {
-		fetchPools = append(fetchPools, pool)
-	}
-	sort.Slice(fetchPools, func(i, j int) bool {
-		return fetchPools[i].Kind().String() < fetchPools[j].Kind().String()
+		cowErr = as.allocLocal(int64(n) * mem.PageSize)
 	})
-	maxFetch := 0
-	for _, pool := range fetchPools {
-		n := fetch[pool]
-		flat := time.Duration(n) * as.lat.FaultOverhead
-		// Contention is sampled from the pool's current outstanding load;
-		// callers that sleep through this latency are expected to hold
-		// BeginFetch/EndFetch on the pool for the sleep's duration so that
-		// concurrent sessions see each other.
-		d, out, err := pool.Fetch(rng, n)
-		res.Retries += out.Retries
-		if res.FaultTrace == "" {
-			res.FaultTrace = out.FaultTrace
+	if cowErr != nil {
+		return res, cowErr
+	}
+	if !fetch.empty() {
+		// Iterate fetch pools in a fixed order: fault verdicts and retry
+		// backoff draw from rng per pool, so accumulation order must not
+		// leak into the simulation's random stream.
+		type poolPages struct {
+			pool *mem.Pool
+			n    int
 		}
-		if err != nil {
-			as.stats.FetchErrors++
-			as.stats.Retries += int64(out.Retries)
-			if as.sink != nil {
-				as.sink.FetchErrors++
-				as.sink.Retries += int64(out.Retries)
+		fetchPools := make([]poolPages, 0, fetch.len+len(fetch.overflow))
+		fetch.each(func(p *mem.Pool, n int) { fetchPools = append(fetchPools, poolPages{p, n}) })
+		sort.Slice(fetchPools, func(i, j int) bool {
+			return fetchPools[i].pool.Kind().String() < fetchPools[j].pool.Kind().String()
+		})
+		maxFetch := 0
+		for _, fp := range fetchPools {
+			pool, n := fp.pool, fp.n
+			flat := time.Duration(n) * as.lat.FaultOverhead
+			// Contention is sampled from the pool's current outstanding load;
+			// callers that sleep through this latency are expected to hold
+			// BeginFetch/EndFetch on the pool for the sleep's duration so that
+			// concurrent sessions see each other.
+			d, out, err := pool.Fetch(rng, n)
+			res.Retries += out.Retries
+			if res.FaultTrace == "" {
+				res.FaultTrace = out.FaultTrace
 			}
-			return res, fmt.Errorf("pagetable: fetch %d pages of %q from pool %s: %w", n, v.Name, pool.Kind(), err)
-		}
-		res.MajorFaults += n
-		res.FetchedPages += n
-		flat += d
-		lat += flat
-		res.FetchLat += flat
-		kind := pool.Kind().String()
-		if n > maxFetch || (n == maxFetch && kind < res.FetchPool) {
-			maxFetch = n
-			res.FetchPool = kind
-		}
-		if err := as.allocLocal(int64(n) * mem.PageSize); err != nil {
-			return res, err
+			if err != nil {
+				as.stats.FetchErrors++
+				as.stats.Retries += int64(out.Retries)
+				if as.sink != nil {
+					as.sink.FetchErrors++
+					as.sink.Retries += int64(out.Retries)
+				}
+				return res, fmt.Errorf("pagetable: fetch %d pages of %q from pool %s: %w", n, v.Name, pool.Kind(), err)
+			}
+			res.MajorFaults += n
+			res.FetchedPages += n
+			flat += d
+			lat += flat
+			res.FetchLat += flat
+			kind := pool.Kind().String()
+			if n > maxFetch || (n == maxFetch && kind < res.FetchPool) {
+				maxFetch = n
+				res.FetchPool = kind
+			}
+			if err := as.allocLocal(int64(n) * mem.PageSize); err != nil {
+				return res, err
+			}
 		}
 	}
-	for pool, n := range direct {
+	direct.each(func(pool *mem.Pool, n int) {
 		res.DirectPages += n
 		lat += pool.DirectAccessCost(n)
-	}
+	})
 	res.Latency = lat
 	as.stats.addAccess(res)
 	if as.sink != nil {

@@ -1,0 +1,65 @@
+package report
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faas"
+	"repro/internal/workload"
+)
+
+// shardedBundle runs a fixed fleet workload at the given worker count
+// and returns the serialized report bundle.
+func shardedBundle(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := faas.DefaultConfig(faas.PolicyTrEnvCXL)
+	cfg.Seed = 1
+	f, err := cluster.NewShardedFleet(cluster.ShardedConfig{
+		Racks:        4,
+		NodesPerRack: 2,
+		TraceCap:     4096,
+		Workers:      workers,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fns []string
+	for _, p := range workload.Table4() {
+		if err := f.Register(p); err != nil {
+			t.Fatal(err)
+		}
+		fns = append(fns, p.Name)
+	}
+	az := workload.AzureConfig(fns)
+	az.Duration = time.Minute
+	f.RunTrace(workload.Industrial(rand.New(rand.NewSource(2)), az))
+	r := FromShardedFleet("sharded-test", 1, f)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// A fleet report bundle must be byte-identical at any worker count: the
+// worker count is physical parallelism only and must not leak into the
+// bundle (no flag, no reordering, no count drift).
+func TestFromShardedFleetBundleInvariantOfWorkers(t *testing.T) {
+	want := shardedBundle(t, 1)
+	if !bytes.Contains(want, []byte("trenv_shard_windows_total")) {
+		t.Fatal("bundle missing shard coordinator metrics")
+	}
+	if bytes.Contains(want, []byte("workers")) {
+		t.Fatal("worker count leaked into the bundle")
+	}
+	for _, workers := range []int{2, 4} {
+		got := shardedBundle(t, workers)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: bundle differs from workers=1 (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+	}
+}

@@ -32,9 +32,10 @@ type Engine struct {
 	running  bool
 	stopped  bool
 	procSeq  int
-	EventCap int // optional safety valve; 0 means unlimited
-	events   int
+	EventCap int64 // optional safety valve; 0 means unlimited
+	events   int64
 	tracer   func(at time.Duration, kind, name string)
+	free     []*event // recycled event structs for the hot push/pop path
 }
 
 type event struct {
@@ -64,8 +65,36 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 func (h eventHeap) peek() *event { return h[0] }
-func (e *Engine) push(ev *event) { e.seq++; ev.seq = e.seq; heap.Push(&e.queue, ev) }
-func (e *Engine) pop() *event    { return heap.Pop(&e.queue).(*event) }
+func (e *Engine) push(ev *event) {
+	if e.stopped {
+		return // a shut-down engine accepts no new events
+	}
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.queue, ev)
+}
+func (e *Engine) pop() *event { return heap.Pop(&e.queue).(*event) }
+
+// newEvent takes an event struct off the engine's freelist (or allocates
+// one) so the steady-state schedule loop runs allocation-free. Events are
+// recycled by the run loop after they execute; events still queued at
+// Shutdown are simply dropped to the garbage collector.
+func (e *Engine) newEvent(at time.Duration, proc *Proc, fn func()) *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.proc, ev.fn = at, 0, proc, fn
+		return ev
+	}
+	return &event{at: at, proc: proc, fn: fn}
+}
+
+// recycle returns an executed event to the freelist.
+func (e *Engine) recycle(ev *event) {
+	ev.proc, ev.fn = nil, nil
+	e.free = append(e.free, ev)
+}
 
 // NewEngine returns an engine whose random stream is seeded with seed.
 func NewEngine(seed int64) *Engine {
@@ -130,9 +159,12 @@ func (e *Engine) At(t time.Duration, name string, fn func(p *Proc)) *Proc {
 			delete(e.procs, p)
 			e.parked <- struct{}{}
 		}()
+		if e.stopped {
+			return // woken by Shutdown before ever running: unwind quietly
+		}
 		fn(p)
 	}()
-	e.push(&event{at: t, proc: p})
+	e.push(e.newEvent(t, p, nil))
 	if e.tracer != nil {
 		e.tracer(e.now, "spawn", name)
 	}
@@ -144,7 +176,7 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	e.push(&event{at: e.now + d, fn: fn})
+	e.push(e.newEvent(e.now+d, nil, fn))
 }
 
 // resume hands control to p and blocks until it yields or finishes.
@@ -168,7 +200,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		panic("sim: negative sleep")
 	}
 	e := p.eng
-	e.push(&event{at: e.now + d, proc: p})
+	e.push(e.newEvent(e.now+d, p, nil))
 	p.park()
 }
 
@@ -187,7 +219,7 @@ func (e *Engine) Resume(p *Proc) {
 	if p.done {
 		return
 	}
-	e.push(&event{at: e.now, proc: p})
+	e.push(e.newEvent(e.now, p, nil))
 }
 
 // Run executes events until the queue is empty or the engine is shut down.
@@ -195,16 +227,38 @@ func (e *Engine) Run() { e.RunUntil(-1) }
 
 // RunUntil executes events with timestamps <= deadline (deadline < 0 means
 // run to exhaustion) and advances Now to deadline if it is later than the
-// last event.
+// last event. An event scheduled exactly at the deadline runs; only events
+// strictly after it are left queued.
 func (e *Engine) RunUntil(deadline time.Duration) {
+	e.run(deadline, false)
+	if deadline >= 0 && deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// runWindow executes events with timestamps strictly before horizon and
+// leaves Now at the last executed event. It is the shard coordinator's
+// entry point: a shard may safely run every event below the group's
+// synchronization horizon without seeing messages from its peers, because
+// cross-shard messages always arrive at or beyond the horizon.
+func (e *Engine) runWindow(horizon time.Duration) {
+	e.run(horizon, true)
+}
+
+// run is the scheduler hot loop shared by RunUntil and runWindow. With
+// exclusive set, events at exactly the deadline stay queued.
+func (e *Engine) run(deadline time.Duration, exclusive bool) {
 	if e.running {
 		panic("sim: Run called reentrantly")
 	}
 	e.running = true
 	defer func() { e.running = false }()
 	for len(e.queue) > 0 && !e.stopped {
-		if deadline >= 0 && e.queue.peek().at > deadline {
-			break
+		if deadline >= 0 {
+			at := e.queue.peek().at
+			if at > deadline || (exclusive && at == deadline) {
+				break
+			}
 		}
 		ev := e.pop()
 		if ev.at < e.now {
@@ -215,33 +269,52 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		if e.EventCap > 0 && e.events > e.EventCap {
 			panic("sim: event cap exceeded (runaway simulation?)")
 		}
-		if ev.proc != nil {
-			if !ev.proc.done {
+		proc, fn := ev.proc, ev.fn
+		e.recycle(ev)
+		if proc != nil {
+			if !proc.done {
 				if e.tracer != nil {
-					e.tracer(e.now, "resume", ev.proc.name)
+					e.tracer(e.now, "resume", proc.name)
 				}
-				e.resume(ev.proc)
+				e.resume(proc)
 			}
 			continue
 		}
 		if e.tracer != nil {
 			e.tracer(e.now, "callback", "")
 		}
-		ev.fn()
+		fn()
 	}
-	if deadline >= 0 && deadline > e.now {
-		e.now = deadline
+	if e.stopped {
+		e.unwind()
 	}
 }
 
 // Shutdown unwinds every parked process and drops all pending events.
 // After Shutdown the engine must not be reused.
+//
+// Shutdown may also be called from inside a running process or callback:
+// in that case it marks the engine stopped and drops the queue
+// immediately, and the run loop unwinds the remaining parked processes
+// once the calling process yields or returns. (Unwinding synchronously
+// from inside a process would deadlock: the engine goroutine is blocked
+// waiting for that process to park, so it cannot arbitrate a resume of
+// any other process.)
 func (e *Engine) Shutdown() {
 	e.stopped = true
 	e.queue = nil
+	if e.running {
+		return // run loop performs the unwind after the active proc yields
+	}
+	e.unwind()
+}
+
+// unwind resumes every parked process so park() observes stopped and
+// panics with stopPanic, unwinding the goroutine.
+func (e *Engine) unwind() {
 	for p := range e.procs {
 		if !p.done {
-			e.resume(p) // park() observes stopped and panics with stopPanic
+			e.resume(p)
 		}
 	}
 }
@@ -250,10 +323,22 @@ func (e *Engine) Shutdown() {
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Events returns how many events the engine has executed so far. The
-// counter lives on the hot loop (one integer increment per event, no
-// allocation) so wall-clock self-benchmarks can derive events/sec
-// without touching virtual time or the deterministic event order.
-func (e *Engine) Events() int64 { return int64(e.events) }
+// counter is an int64 end-to-end (it lives on the hot loop as one integer
+// increment per event, no allocation) so event counts cannot truncate on
+// 32-bit platforms during long sharded runs, and wall-clock
+// self-benchmarks can derive events/sec without touching virtual time or
+// the deterministic event order.
+func (e *Engine) Events() int64 { return e.events }
+
+// nextEventAt returns the timestamp of the earliest pending event, or
+// false if the queue is empty. The shard coordinator uses it to compute
+// the group-wide synchronization horizon.
+func (e *Engine) nextEventAt() (time.Duration, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue.peek().at, true
+}
 
 // Signal is a broadcast condition variable for simulated processes.
 type Signal struct {
@@ -271,7 +356,7 @@ func (s *Signal) Broadcast(e *Engine) {
 	ws := s.waiters
 	s.waiters = nil
 	for _, w := range ws {
-		e.push(&event{at: e.now, proc: w})
+		e.push(e.newEvent(e.now, w, nil))
 	}
 }
 

@@ -12,7 +12,11 @@
 #   5. every flag cmd/trenv-trace defines appears in its own command
 #      comment (the godoc usage block);
 #   6. every flag cmd/trenv-diff defines appears in README.md's
-#      trenv-diff flag table.
+#      trenv-diff flag table;
+#   7. ARCHITECTURE.md carries the "Engine internals & sharding"
+#      chapter and the shard-count-invariance determinism paragraph;
+#   8. every committed BENCH_*.json baseline appears in EXPERIMENTS.md's
+#      "Regenerating baselines" section.
 # Exits non-zero listing everything that is missing.
 set -eu
 
@@ -88,6 +92,29 @@ gflags=$(sed -n 's/.*\.\(Bool\|String\|Int64\|Int\|Float64\|Duration\)("\([a-z-]
 for f in $gflags; do
     if ! grep -q -- "\`-$f" README.md; then
         echo "trenv-diff flag undocumented in README.md: -$f" >&2
+        fail=1
+    fi
+done
+
+for heading in '## Engine internals & sharding' '### The scheduler contract' '### Shards, horizons, and the exchange'; do
+    if ! grep -q "^$heading" ARCHITECTURE.md; then
+        echo "ARCHITECTURE.md missing section: $heading" >&2
+        fail=1
+    fi
+done
+if ! grep -q 'shard-count' ARCHITECTURE.md; then
+    echo "ARCHITECTURE.md determinism contract missing the shard-count-invariance paragraph" >&2
+    fail=1
+fi
+
+if ! grep -q '^## Regenerating baselines' EXPERIMENTS.md; then
+    echo "EXPERIMENTS.md missing section: ## Regenerating baselines" >&2
+    fail=1
+fi
+for b in BENCH_*.json; do
+    [ -e "$b" ] || continue
+    if ! grep -q "$b" EXPERIMENTS.md; then
+        echo "committed baseline undocumented in EXPERIMENTS.md: $b" >&2
         fail=1
     fi
 done

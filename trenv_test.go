@@ -82,8 +82,8 @@ func TestPublicAPITemplates(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := trenv.ExperimentIDs()
-	if len(ids) != 22 {
-		t.Fatalf("experiments = %d, want 22", len(ids))
+	if len(ids) != 23 {
+		t.Fatalf("experiments = %d, want 23", len(ids))
 	}
 	r, ok := trenv.RunExperiment("table3", trenv.ExperimentOptions{Seed: 1, Scale: 0.1})
 	if !ok || len(r.Lines) == 0 {
